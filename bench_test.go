@@ -1,0 +1,282 @@
+package reachac
+
+// Benchmark families, one per experiment of DESIGN.md §3 (run
+// cmd/experiments for the full table-producing sweeps; these testing.B
+// targets regenerate each experiment's core measurement at a fixed size):
+//
+//	E1  BenchmarkIndexBuild      index construction per family
+//	E2  BenchmarkQueryHit        per-engine latency, reachability-biased pairs
+//	E3  BenchmarkQueryMiss       per-engine latency, uniform pairs
+//	E4  BenchmarkEnforcement     policy decisions via the osn simulation
+//	E5  BenchmarkAblation        look-ahead and W-table ablations
+//	E6  BenchmarkClosureBuild    the transitive-closure baseline's build cost
+//	F3/F5/F6 Benchmark{LineGraph,Interval,TwoHop} pipeline stage costs
+
+import (
+	"testing"
+
+	"reachac/internal/core"
+	"reachac/internal/generate"
+	"reachac/internal/graph"
+	"reachac/internal/interval"
+	"reachac/internal/joinindex"
+	"reachac/internal/linegraph"
+	"reachac/internal/osn"
+	"reachac/internal/pathexpr"
+	"reachac/internal/scc"
+	"reachac/internal/search"
+	"reachac/internal/tclosure"
+	"reachac/internal/twohop"
+	"reachac/internal/workload"
+)
+
+const benchSize = 2000
+
+func benchGraph(family string) *graph.Graph {
+	return generate.OSN(generate.OSNConfig{
+		Nodes:     benchSize,
+		Seed:      42,
+		WithAttrs: true,
+		Acyclic:   family == "follow",
+	})
+}
+
+func BenchmarkIndexBuild(b *testing.B) {
+	for _, fam := range []string{"social", "follow"} {
+		g := benchGraph(fam)
+		b.Run(fam, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := joinindex.Build(g, joinindex.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchEngines(b *testing.B, g *graph.Graph) map[string]core.Evaluator {
+	b.Helper()
+	idx, err := joinindex.Build(g, joinindex.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return map[string]core.Evaluator{
+		"online-bfs": search.New(g),
+		"closure":    tclosure.New(g),
+		"join-index": idx,
+	}
+}
+
+func benchQueries() []workload.QuerySpec {
+	return append(workload.DefaultCatalog(),
+		workload.QuerySpec{Name: "deep-friends", Path: pathexpr.MustParse("friend+[1,4]")},
+		workload.QuerySpec{Name: "transitive-friends", Path: pathexpr.MustParse("friend+[1,*]")},
+	)
+}
+
+func benchLatency(b *testing.B, pairsFor func(*graph.Graph) []workload.Pair) {
+	for _, fam := range []string{"social", "follow"} {
+		g := benchGraph(fam)
+		pairs := pairsFor(g)
+		engines := benchEngines(b, g)
+		for _, name := range []string{"online-bfs", "closure", "join-index"} {
+			eval := engines[name]
+			for _, q := range benchQueries() {
+				b.Run(fam+"/"+name+"/"+q.Name, func(b *testing.B) {
+					// Warm lazily-built closures outside the timer.
+					if _, err := eval.Reachable(pairs[0].Owner, pairs[0].Requester, q.Path); err != nil {
+						b.Fatal(err)
+					}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						p := pairs[i%len(pairs)]
+						if _, err := eval.Reachable(p.Owner, p.Requester, q.Path); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func BenchmarkQueryHit(b *testing.B) {
+	benchLatency(b, func(g *graph.Graph) []workload.Pair {
+		return workload.HitPairs(g, 128, 3, 1)
+	})
+}
+
+func BenchmarkQueryMiss(b *testing.B) {
+	benchLatency(b, func(g *graph.Graph) []workload.Pair {
+		return workload.RandomPairs(g, 128, 2)
+	})
+}
+
+func BenchmarkEnforcement(b *testing.B) {
+	g := benchGraph("social")
+	reqs := workload.Requests(g, 512, len(workload.DefaultCatalog()), 3)
+	for name, eval := range benchEngines(b, g) {
+		b.Run(name, func(b *testing.B) {
+			net := osn.New(g, eval)
+			if _, err := net.Populate(workload.DefaultCatalog(), 1, 4); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := net.Run(reqs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(reqs)), "decisions/op")
+		})
+	}
+}
+
+func BenchmarkAblation(b *testing.B) {
+	// Look-ahead on/off on the follow family (where it prunes), deep query,
+	// miss-heavy pairs.
+	g := benchGraph("follow")
+	pairs := workload.RandomPairs(g, 128, 5)
+	deep := pathexpr.MustParse("friend+[1,*]")
+	for name, opts := range map[string]joinindex.Options{
+		"lookahead-on":  {},
+		"lookahead-off": {DisableLookahead: true},
+	} {
+		idx, err := joinindex.Build(g, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				if _, err := idx.Reachable(p.Owner, p.Requester, deep); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// W-table on/off for the literal paper-join strategy, small graph.
+	small := generate.OSN(generate.OSNConfig{Nodes: 150, Seed: 42, AvgOutDegree: 4})
+	q := pathexpr.MustParse("friend+[1]/colleague+[1]")
+	smallPairs := workload.HitPairs(small, 32, 2, 6)
+	for name, opts := range map[string]joinindex.Options{
+		"wtable-on":  {Strategy: joinindex.EvalPaperJoin},
+		"wtable-off": {Strategy: joinindex.EvalPaperJoin, DisableWTable: true},
+	} {
+		idx, err := joinindex.Build(small, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := smallPairs[i%len(smallPairs)]
+				if _, err := idx.Reachable(p.Owner, p.Requester, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkClosureBuild(b *testing.B) {
+	g := benchGraph("social")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := tclosure.New(g)
+		e.MaterializeClosures()
+	}
+}
+
+// Pipeline stage micro-benchmarks (figure machinery).
+
+func BenchmarkLineGraphBuild(b *testing.B) {
+	g := benchGraph("social")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		linegraph.Build(g, linegraph.Opts{})
+	}
+}
+
+func BenchmarkIntervalLabel(b *testing.B) {
+	g := benchGraph("follow")
+	l := linegraph.Build(g, linegraph.Opts{})
+	parts := scc.Tarjan(l.D)
+	dag := scc.Condense(l.D, parts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The production configuration: per-vertex interval budget of 8.
+		if _, err := interval.LabelBounded(dag, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTwoHopPruned(b *testing.B) {
+	g := benchGraph("follow")
+	l := linegraph.Build(g, linegraph.Opts{})
+	parts := scc.Tarjan(l.D)
+	dag := scc.Condense(l.D, parts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		twohop.Pruned(dag)
+	}
+}
+
+func BenchmarkPathParse(b *testing.B) {
+	const expr = `friend+[1,2]/colleague+[1]{age>=18, city="paris"}/parent-[1,*]`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := pathexpr.Parse(expr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFacadeCanAccess(b *testing.B) {
+	g := benchGraph("social")
+	n := FromGraph(g)
+	owner, _ := n.UserID("u000010")
+	if _, err := n.Share("r", owner, "friend+[1,2]"); err != nil {
+		b.Fatal(err)
+	}
+	if err := n.UseEngine(Index); err != nil {
+		b.Fatal(err)
+	}
+	pairs := workload.HitPairs(g, 64, 2, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.CanAccess("r", pairs[i%len(pairs)].Requester); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTwoHopInsert measures incremental 2-hop maintenance (one edge
+// insertion with resumed pruned BFS) against the full rebuild it replaces.
+func BenchmarkTwoHopInsert(b *testing.B) {
+	g := benchGraph("follow")
+	l := linegraph.Build(g, linegraph.Opts{})
+	base := l.D
+	rev := base.Reverse()
+	cover := twohop.Pruned(base)
+	rng := 12345
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// Pseudo-random existing vertices; the edge may duplicate, which
+			// Insert handles as already-covered.
+			rng = rng*1103515245 + 12345
+			u := (rng >> 16 & 0x7fff) % base.N()
+			rng = rng*1103515245 + 12345
+			v := (rng >> 16 & 0x7fff) % base.N()
+			base.AddEdge(u, v)
+			rev.AddEdge(v, u)
+			cover.Insert(base, rev, u, v)
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			twohop.Pruned(base)
+		}
+	})
+}

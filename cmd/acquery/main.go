@@ -1,0 +1,146 @@
+// Command acquery answers access-control reachability queries over a social
+// graph: given an owner, a requester and a path expression, it reports
+// whether the requester is in the path's audience, optionally printing the
+// witness path.
+//
+// Usage:
+//
+//	acquery -graph g.json -owner u000001 -requester u000420 \
+//	        -path 'friend+[1,2]/colleague+[1]' [-engine online|closure|index] [-explain]
+//
+//	acquery -graph g.json -owner u000001 -path '...' -audience
+//
+// -audience enumerates every member the path grants access to (the
+// resource's effective audience).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"reachac/internal/core"
+	"reachac/internal/graph"
+	"reachac/internal/joinindex"
+	"reachac/internal/pathexpr"
+	"reachac/internal/search"
+	"reachac/internal/tclosure"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("acquery: ")
+	var (
+		graphPath = flag.String("graph", "", "graph file (from gengraph or Network.Save)")
+		owner     = flag.String("owner", "", "resource owner (member name)")
+		requester = flag.String("requester", "", "access requester (member name)")
+		pathStr   = flag.String("path", "", "path expression, e.g. 'friend+[1,2]/colleague+[1]'")
+		engine    = flag.String("engine", "online", "evaluator: online, closure, index")
+		audience  = flag.Bool("audience", false, "enumerate the full audience instead of one requester")
+		explain   = flag.Bool("explain", false, "print a witness path on grant (online engine)")
+	)
+	flag.Parse()
+	if *graphPath == "" || *owner == "" || *pathStr == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := graph.Read(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := pathexpr.Parse(*pathStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ownerID, ok := g.NodeByName(*owner)
+	if !ok {
+		log.Fatalf("unknown member %q", *owner)
+	}
+
+	var eval core.Evaluator
+	switch *engine {
+	case "online":
+		eval = search.New(g)
+	case "closure":
+		eval = tclosure.New(g)
+	case "index":
+		start := time.Now()
+		idx, err := joinindex.Build(g, joinindex.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("index built in %v (%d line nodes, %d SCCs)",
+			time.Since(start).Round(time.Millisecond), idx.Stats().LineNodes, idx.Stats().SCCs)
+		eval = idx
+	default:
+		log.Fatalf("unknown engine %q (have online, closure, index)", *engine)
+	}
+
+	if *audience {
+		count := 0
+		g.Nodes(func(n graph.Node) bool {
+			if n.ID == ownerID {
+				return true
+			}
+			ok, err := eval.Reachable(ownerID, n.ID, p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if ok {
+				fmt.Println(n.Name)
+				count++
+			}
+			return true
+		})
+		log.Printf("%d of %d members in the audience of %s/%s",
+			count, g.NumNodes()-1, *owner, p)
+		return
+	}
+
+	if *requester == "" {
+		log.Fatal("need -requester or -audience")
+	}
+	reqID, ok := g.NodeByName(*requester)
+	if !ok {
+		log.Fatalf("unknown member %q", *requester)
+	}
+	start := time.Now()
+	granted, err := eval.Reachable(ownerID, reqID, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	el := time.Since(start)
+	if granted {
+		fmt.Printf("ALLOW  %s -> %s via %s  (%v)\n", *owner, *requester, p, el)
+		if *explain {
+			hops, ok, err := search.New(g).Witness(ownerID, reqID, p)
+			if err == nil && ok {
+				cur := ownerID
+				fmt.Printf("  %s", g.Node(cur).Name)
+				for _, h := range hops {
+					next := h.Edge.To
+					if !h.Forward {
+						next = h.Edge.From
+					}
+					dir := ">"
+					if !h.Forward {
+						dir = "<"
+					}
+					fmt.Printf(" -%s%s- %s", g.LabelName(h.Edge.Label), dir, g.Node(next).Name)
+					cur = next
+				}
+				fmt.Println()
+			}
+		}
+	} else {
+		fmt.Printf("DENY   %s -> %s via %s  (%v)\n", *owner, *requester, p, el)
+	}
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"reachac/internal/graph"
+	"reachac/internal/paperfix"
+)
+
+// capture runs fn with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func(*graph.Graph)) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	fn(paperfix.Graph())
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+func TestFigure1Output(t *testing.T) {
+	out := capture(t, figure1)
+	for _, want := range []string{
+		"Figure 1",
+		"Alice  λ = (age=24, gender=female)",
+		"friend    Alice -> Colin",
+		"colleague David -> Fred",
+		"parent    David -> George",
+		"friend    Fred -> George  (trust 0.8)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure2Output(t *testing.T) {
+	out := capture(t, figure2)
+	if !strings.Contains(out, "Q1 = Alice/friend+[1,2]/colleague+[1]") {
+		t.Errorf("figure 2 missing Q1:\n%s", out)
+	}
+	if !strings.Contains(out, "audience on the Figure-1 graph: {Fred}") {
+		t.Errorf("figure 2 audience wrong:\n%s", out)
+	}
+}
+
+func TestFigure3Output(t *testing.T) {
+	out := capture(t, figure3)
+	if !strings.Contains(out, "12 line nodes") {
+		t.Errorf("figure 3 line-node count:\n%s", out)
+	}
+	if !strings.Contains(out, "friend Alice-Colin") || !strings.Contains(out, "colleague David-Fred") {
+		t.Errorf("figure 3 missing line nodes:\n%s", out)
+	}
+}
+
+func TestFigure4Output(t *testing.T) {
+	out := capture(t, figure4)
+	if !strings.Contains(out, "L1: friend+.colleague+") ||
+		!strings.Contains(out, "L2: friend+.friend+.colleague+") {
+		t.Errorf("figure 4 expansions wrong:\n%s", out)
+	}
+}
+
+func TestFigure5Output(t *testing.T) {
+	out := capture(t, figure5)
+	if !strings.Contains(out, "Null Alice") {
+		t.Errorf("figure 5 missing Null-A row:\n%s", out)
+	}
+	// 13 line nodes (12 edges + Null A).
+	if !strings.Contains(out, "13 nodes") {
+		t.Errorf("figure 5 node count:\n%s", out)
+	}
+	// Every member edge appears as a table row.
+	for _, want := range []string{"friend Alice-Colin", "parent Colin-Fred", "friend Fred-George"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure 5 missing row %q", want)
+		}
+	}
+}
+
+func TestFigure6Output(t *testing.T) {
+	out := capture(t, figure6)
+	// The joins the paper's worked examples rely on must have entries.
+	for _, want := range []string{"(friend, colleague)", "(friend, parent)", "(parent, friend)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure 6 missing entry %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure7Output(t *testing.T) {
+	out := capture(t, figure7)
+	if !strings.Contains(out, "⟨friend Alice-Colin, colleague David-Fred⟩") {
+		t.Errorf("figure 7 missing the paper's friend⋈colleague pair:\n%s", out)
+	}
+	if !strings.Contains(out, "⟨friend Alice-Colin, parent Colin-Fred, friend Fred-George⟩") {
+		t.Errorf("figure 7 missing the paper's /friend/parent/friend tuple:\n%s", out)
+	}
+	if !strings.Contains(out, "grant (Alice -> Colin -> Fred -> George)") {
+		t.Errorf("figure 7 missing the final grant:\n%s", out)
+	}
+}

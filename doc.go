@@ -1,0 +1,25 @@
+// Package reachac is a reachability-based access control library for social
+// networks, implementing Ben Dhia's EDBT/ICDT 2012 model: users protect
+// shared resources with access rules whose audience is a path expression
+// over the social graph — e.g. "friend+[1,2]/colleague+[1]" grants access to
+// the colleagues of my friends, up to friends-of-friends.
+//
+// The package wraps the full implementation: the labeled social graph, the
+// path-expression policy language, the policy store with deny-by-default
+// enforcement, and three interchangeable query evaluators — online
+// constrained search, per-label transitive closure, and the paper's
+// cluster-based join index (line graph → SCC condensation → interval
+// labeling → 2-hop cover → W-table).
+//
+// Quick start:
+//
+//	n := reachac.New()
+//	alice := n.MustAddUser("alice")
+//	bob := n.MustAddUser("bob")
+//	n.Relate(alice, bob, "friend")
+//	n.Share("alice/photos", alice, "friend+[1,2]")
+//	d, _ := n.CanAccess("alice/photos", bob)
+//	fmt.Println(d.Effect) // allow
+//
+// See the examples/ directory for complete programs.
+package reachac

@@ -1,0 +1,98 @@
+// Jobsearch models the paper's §1 motivation: employers screen candidates on
+// social networks, so a candidate partitions their profile into fields with
+// different audiences — public professional facts, party photos for close
+// friends only, and political opinions for family. Attribute predicates
+// restrict one audience further (only adult friends see the party photos).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"reachac"
+)
+
+func main() {
+	n := reachac.New()
+
+	candidate := n.MustAddUser("nadia", reachac.StringAttr("status", "job-seeker"))
+
+	// Nadia's circles.
+	mother := n.MustAddUser("mother")
+	brother := n.MustAddUser("brother")
+	bestFriend := n.MustAddUser("lena", reachac.IntAttr("age", 27))
+	youngFriend := n.MustAddUser("teo", reachac.IntAttr("age", 16))
+	colleague := n.MustAddUser("omar")
+	recruiter := n.MustAddUser("recruiter")
+	stranger := n.MustAddUser("stranger")
+
+	must(n.Relate(mother, candidate, "parent"))
+	must(n.Relate(mother, brother, "parent"))
+	must(n.RelateMutual(candidate, bestFriend, "friend"))
+	must(n.RelateMutual(candidate, youngFriend, "friend"))
+	must(n.RelateMutual(candidate, colleague, "colleague"))
+	must(n.Relate(recruiter, candidate, "follows"))
+
+	share := func(res string, paths ...string) {
+		if _, err := n.Share(res, candidate, paths...); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Professional profile: colleagues, plus anyone who follows her
+	// (recruiters included) — two alternative rules.
+	share("nadia/cv", "colleague*[1]")
+	if _, err := n.Share("nadia/cv", candidate, "follows-[1]"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Party photos: direct friends who are adults.
+	share("nadia/party-photos", "friend+[1]{age>=18}")
+
+	// Political opinions: family only — her parents and her siblings
+	// (parent's children), expressed with direction switches.
+	share("nadia/opinions", "parent-[1]")
+	if _, err := n.Share("nadia/opinions", candidate, "parent-[1]/parent+[1]"); err != nil {
+		log.Fatal(err)
+	}
+
+	users := []struct {
+		name string
+		id   reachac.UserID
+	}{
+		{"mother", mother}, {"brother", brother}, {"lena (27)", bestFriend},
+		{"teo (16)", youngFriend}, {"omar (colleague)", colleague},
+		{"recruiter", recruiter}, {"stranger", stranger},
+	}
+	resources := []string{"nadia/cv", "nadia/party-photos", "nadia/opinions"}
+
+	fmt.Printf("%-18s", "")
+	for _, r := range resources {
+		fmt.Printf("  %-20s", r)
+	}
+	fmt.Println()
+	for _, u := range users {
+		fmt.Printf("%-18s", u.name)
+		for _, r := range resources {
+			d, err := n.CanAccess(r, u.id)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cell := "·"
+			if d.Effect == reachac.Allow {
+				cell = "ALLOW"
+			}
+			fmt.Printf("  %-20s", cell)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nThe recruiter sees the CV but not the party photos or opinions —")
+	fmt.Println("exactly the separation the paper's introduction calls for.")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+// Package benchutil provides the small shared helpers the experiment
+// drivers use to print the E-series tables: fixed-width text tables and
+// compact duration/size formatting.
+package benchutil
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+	"unicode/utf8"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends one row; missing cells render empty, extra cells are kept.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Fprint renders the table to w.
+func (t *Table) Fprint(w io.Writer) {
+	cols := len(t.headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if n := utf8.RuneCountInString(c); n > width[i] {
+				width[i] = n
+			}
+		}
+	}
+	measure(t.headers)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	printRow := func(r []string) {
+		var b strings.Builder
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", width[i]-utf8.RuneCountInString(cell)))
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	printRow(t.headers)
+	var sep []string
+	for i := 0; i < cols; i++ {
+		sep = append(sep, strings.Repeat("-", width[i]))
+	}
+	printRow(sep)
+	for _, r := range t.rows {
+		printRow(r)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// Dur formats a duration compactly with three significant-ish digits.
+func Dur(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+// Bytes formats a byte count with binary units.
+func Bytes(n int) string {
+	switch {
+	case n < 1<<10:
+		return fmt.Sprintf("%dB", n)
+	case n < 1<<20:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	case n < 1<<30:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	default:
+		return fmt.Sprintf("%.2fGiB", float64(n)/(1<<30))
+	}
+}
+
+// Count formats large counts with thousands separators.
+func Count(n int) string {
+	s := fmt.Sprintf("%d", n)
+	if len(s) <= 3 {
+		return s
+	}
+	var b strings.Builder
+	lead := len(s) % 3
+	if lead > 0 {
+		b.WriteString(s[:lead])
+	}
+	for i := lead; i < len(s); i += 3 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s[i : i+3])
+	}
+	return b.String()
+}

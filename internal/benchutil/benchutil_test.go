@@ -1,0 +1,85 @@
+package benchutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "count")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("very-long-name", "22222")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "count") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Fatalf("separator = %q", lines[1])
+	}
+	// Columns aligned: "count" column starts at the same offset everywhere.
+	off := strings.Index(lines[0], "count")
+	if lines[2][off-1] != ' ' && lines[2][off] == ' ' {
+		t.Fatalf("misaligned row: %q", lines[2])
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("a")
+	tb.AddRow("x", "extra")
+	tb.AddRow()
+	out := tb.String()
+	if !strings.Contains(out, "extra") {
+		t.Fatalf("extra cell dropped:\n%s", out)
+	}
+}
+
+func TestDur(t *testing.T) {
+	cases := map[time.Duration]string{
+		500 * time.Nanosecond:   "500ns",
+		1500 * time.Nanosecond:  "1.5µs",
+		2500 * time.Microsecond: "2.50ms",
+		3 * time.Second:         "3.00s",
+	}
+	for d, want := range cases {
+		if got := Dur(d); got != want {
+			t.Errorf("Dur(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestBytes(t *testing.T) {
+	cases := map[int]string{
+		12:      "12B",
+		2048:    "2.0KiB",
+		3 << 20: "3.0MiB",
+		5 << 30: "5.00GiB",
+	}
+	for n, want := range cases {
+		if got := Bytes(n); got != want {
+			t.Errorf("Bytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	cases := map[int]string{
+		7:        "7",
+		999:      "999",
+		1000:     "1,000",
+		1234567:  "1,234,567",
+		12345678: "12,345,678",
+	}
+	for n, want := range cases {
+		if got := Count(n); got != want {
+			t.Errorf("Count(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

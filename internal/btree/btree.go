@@ -1,0 +1,295 @@
+// Package btree implements an in-memory B+tree with string keys. The paper's
+// cluster-based join index (§3.3, Figure 7) "is a B+tree, where non-leaf
+// nodes are centers. Each non-leaf node wi holds two clusters Uwi and Vwi";
+// package joinindex stores its centers in this tree keyed by center name.
+// The tree is general purpose: ordered insertion, lookup, deletion, and
+// range scans.
+package btree
+
+import "sort"
+
+// DefaultOrder is the default maximum number of children per internal node.
+const DefaultOrder = 16
+
+// Tree is a B+tree mapping string keys to arbitrary values. The zero value
+// is not usable; call New.
+type Tree struct {
+	root  *node
+	order int // max children of an internal node; max keys of a leaf = order-1
+	size  int
+}
+
+type node struct {
+	leaf     bool
+	keys     []string
+	vals     []any   // leaf only, parallel to keys
+	children []*node // internal only, len = len(keys)+1
+	next     *node   // leaf chain for range scans
+}
+
+// New returns an empty tree with the given order (minimum 3; DefaultOrder if
+// order < 3).
+func New(order int) *Tree {
+	if order < 3 {
+		order = DefaultOrder
+	}
+	return &Tree{root: &node{leaf: true}, order: order}
+}
+
+// Len returns the number of stored keys.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the tree height (1 for a lone leaf).
+func (t *Tree) Height() int {
+	h, n := 1, t.root
+	for !n.leaf {
+		h++
+		n = n.children[0]
+	}
+	return h
+}
+
+func (n *node) search(key string) int {
+	return sort.SearchStrings(n.keys, key)
+}
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key string) (any, bool) {
+	n := t.root
+	for !n.leaf {
+		i := n.search(key)
+		if i < len(n.keys) && n.keys[i] == key {
+			i++ // equal separator: key lives in the right subtree
+		}
+		n = n.children[i]
+	}
+	i := n.search(key)
+	if i < len(n.keys) && n.keys[i] == key {
+		return n.vals[i], true
+	}
+	return nil, false
+}
+
+// Put inserts or replaces the value under key. It reports whether the key
+// was newly inserted.
+func (t *Tree) Put(key string, val any) bool {
+	midKey, right, inserted := t.insert(t.root, key, val)
+	if right != nil {
+		t.root = &node{
+			keys:     []string{midKey},
+			children: []*node{t.root, right},
+		}
+	}
+	if inserted {
+		t.size++
+	}
+	return inserted
+}
+
+// insert adds key to the subtree at n; on split it returns the separator key
+// and the new right sibling.
+func (t *Tree) insert(n *node, key string, val any) (string, *node, bool) {
+	if n.leaf {
+		i := n.search(key)
+		if i < len(n.keys) && n.keys[i] == key {
+			n.vals[i] = val
+			return "", nil, false
+		}
+		n.keys = append(n.keys, "")
+		n.vals = append(n.vals, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		copy(n.vals[i+1:], n.vals[i:])
+		n.keys[i] = key
+		n.vals[i] = val
+		if len(n.keys) < t.order {
+			return "", nil, true
+		}
+		// Split leaf: right half moves to a new node.
+		mid := len(n.keys) / 2
+		right := &node{
+			leaf: true,
+			keys: append([]string(nil), n.keys[mid:]...),
+			vals: append([]any(nil), n.vals[mid:]...),
+			next: n.next,
+		}
+		n.keys = n.keys[:mid]
+		n.vals = n.vals[:mid]
+		n.next = right
+		return right.keys[0], right, true
+	}
+
+	i := n.search(key)
+	if i < len(n.keys) && n.keys[i] == key {
+		i++
+	}
+	midKey, right, inserted := t.insert(n.children[i], key, val)
+	if right != nil {
+		n.keys = append(n.keys, "")
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = midKey
+		n.children = append(n.children, nil)
+		copy(n.children[i+2:], n.children[i+1:])
+		n.children[i+1] = right
+		if len(n.children) > t.order {
+			// Split internal node; the middle key moves up.
+			mid := len(n.keys) / 2
+			upKey := n.keys[mid]
+			newRight := &node{
+				keys:     append([]string(nil), n.keys[mid+1:]...),
+				children: append([]*node(nil), n.children[mid+1:]...),
+			}
+			n.keys = n.keys[:mid]
+			n.children = n.children[:mid+1]
+			return upKey, newRight, inserted
+		}
+	}
+	return "", nil, inserted
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Tree) Delete(key string) bool {
+	deleted := t.delete(t.root, key)
+	if deleted {
+		t.size--
+	}
+	if !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+	}
+	return deleted
+}
+
+func (t *Tree) minKeys() int { return (t.order - 1) / 2 }
+
+func (t *Tree) delete(n *node, key string) bool {
+	if n.leaf {
+		i := n.search(key)
+		if i >= len(n.keys) || n.keys[i] != key {
+			return false
+		}
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		return true
+	}
+	i := n.search(key)
+	if i < len(n.keys) && n.keys[i] == key {
+		i++
+	}
+	deleted := t.delete(n.children[i], key)
+	if deleted {
+		t.rebalance(n, i)
+	}
+	return deleted
+}
+
+// rebalance restores the minimum-fill invariant of n.children[i] by
+// borrowing from or merging with a sibling.
+func (t *Tree) rebalance(n *node, i int) {
+	child := n.children[i]
+	if len(child.keys) >= t.minKeys() {
+		return
+	}
+	// Try borrowing from the left sibling.
+	if i > 0 {
+		left := n.children[i-1]
+		if len(left.keys) > t.minKeys() {
+			if child.leaf {
+				k := left.keys[len(left.keys)-1]
+				v := left.vals[len(left.vals)-1]
+				left.keys = left.keys[:len(left.keys)-1]
+				left.vals = left.vals[:len(left.vals)-1]
+				child.keys = append([]string{k}, child.keys...)
+				child.vals = append([]any{v}, child.vals...)
+				n.keys[i-1] = child.keys[0]
+			} else {
+				// Rotate through the separator.
+				child.keys = append([]string{n.keys[i-1]}, child.keys...)
+				n.keys[i-1] = left.keys[len(left.keys)-1]
+				left.keys = left.keys[:len(left.keys)-1]
+				child.children = append([]*node{left.children[len(left.children)-1]}, child.children...)
+				left.children = left.children[:len(left.children)-1]
+			}
+			return
+		}
+	}
+	// Try borrowing from the right sibling.
+	if i < len(n.children)-1 {
+		right := n.children[i+1]
+		if len(right.keys) > t.minKeys() {
+			if child.leaf {
+				child.keys = append(child.keys, right.keys[0])
+				child.vals = append(child.vals, right.vals[0])
+				right.keys = right.keys[1:]
+				right.vals = right.vals[1:]
+				n.keys[i] = right.keys[0]
+			} else {
+				child.keys = append(child.keys, n.keys[i])
+				n.keys[i] = right.keys[0]
+				right.keys = right.keys[1:]
+				child.children = append(child.children, right.children[0])
+				right.children = right.children[1:]
+			}
+			return
+		}
+	}
+	// Merge with a sibling.
+	if i > 0 {
+		t.merge(n, i-1)
+	} else {
+		t.merge(n, i)
+	}
+}
+
+// merge folds n.children[i+1] into n.children[i] and drops separator i.
+func (t *Tree) merge(n *node, i int) {
+	left, right := n.children[i], n.children[i+1]
+	if left.leaf {
+		left.keys = append(left.keys, right.keys...)
+		left.vals = append(left.vals, right.vals...)
+		left.next = right.next
+	} else {
+		left.keys = append(left.keys, n.keys[i])
+		left.keys = append(left.keys, right.keys...)
+		left.children = append(left.children, right.children...)
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// Ascend calls fn for every key/value pair in ascending key order until fn
+// returns false.
+func (t *Tree) Ascend(fn func(key string, val any) bool) {
+	t.AscendRange("", "", fn)
+}
+
+// AscendRange calls fn for keys in [from, to) in ascending order; empty from
+// means the smallest key, empty to means no upper bound.
+func (t *Tree) AscendRange(from, to string, fn func(key string, val any) bool) {
+	n := t.root
+	for !n.leaf {
+		i := n.search(from)
+		if i < len(n.keys) && n.keys[i] == from {
+			i++
+		}
+		n = n.children[i]
+	}
+	for n != nil {
+		for i, k := range n.keys {
+			if k < from {
+				continue
+			}
+			if to != "" && k >= to {
+				return
+			}
+			if !fn(k, n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+	}
+}
+
+// check validates structural invariants; it is exported to tests via
+// export_test.go.
+func (t *Tree) check() error {
+	return t.root.check(t, true, "", "")
+}

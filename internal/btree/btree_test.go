@@ -1,0 +1,249 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) string { return fmt.Sprintf("k%06d", i) }
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(4)
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("empty: len=%d height=%d", tr.Len(), tr.Height())
+	}
+	if _, ok := tr.Get("x"); ok {
+		t.Fatal("Get on empty found something")
+	}
+	if tr.Delete("x") {
+		t.Fatal("Delete on empty succeeded")
+	}
+}
+
+func TestPutGetSequential(t *testing.T) {
+	tr := New(4)
+	const n = 500
+	for i := 0; i < n; i++ {
+		if !tr.Put(key(i), i) {
+			t.Fatalf("Put(%d) not inserted", i)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := tr.Get(key(i))
+		if !ok || v.(int) != i {
+			t.Fatalf("Get(%d) = %v,%v", i, v, ok)
+		}
+	}
+	if tr.Height() < 2 {
+		t.Fatal("tree never split")
+	}
+}
+
+func TestPutOverwrite(t *testing.T) {
+	tr := New(4)
+	tr.Put("a", 1)
+	if tr.Put("a", 2) {
+		t.Fatal("overwrite reported as insert")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	v, _ := tr.Get("a")
+	if v.(int) != 2 {
+		t.Fatalf("overwrite lost: %v", v)
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	for _, order := range []int{3, 4, 5, 16} {
+		tr := New(order)
+		const n = 300
+		perm := rand.New(rand.NewSource(1)).Perm(n)
+		for _, i := range perm {
+			tr.Put(key(i), i)
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("order %d after inserts: %v", order, err)
+		}
+		perm2 := rand.New(rand.NewSource(2)).Perm(n)
+		for step, i := range perm2 {
+			if !tr.Delete(key(i)) {
+				t.Fatalf("order %d: Delete(%d) missing", order, i)
+			}
+			if tr.Delete(key(i)) {
+				t.Fatalf("order %d: double delete succeeded", order)
+			}
+			if step%37 == 0 {
+				if err := tr.Check(); err != nil {
+					t.Fatalf("order %d after %d deletes: %v", order, step+1, err)
+				}
+			}
+		}
+		if tr.Len() != 0 {
+			t.Fatalf("order %d: Len = %d after deleting all", order, tr.Len())
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAscend(t *testing.T) {
+	tr := New(4)
+	want := []string{"apple", "banana", "cherry", "date", "elderberry"}
+	for i := len(want) - 1; i >= 0; i-- {
+		tr.Put(want[i], i)
+	}
+	var got []string
+	tr.Ascend(func(k string, v any) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Ascend visited %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ascend order: %v", got)
+		}
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 100; i++ {
+		tr.Put(key(i), i)
+	}
+	count := 0
+	tr.Ascend(func(k string, v any) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 100; i++ {
+		tr.Put(key(i), i)
+	}
+	var got []int
+	tr.AscendRange(key(10), key(20), func(k string, v any) bool {
+		got = append(got, v.(int))
+		return true
+	})
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Fatalf("range [10,20) = %v", got)
+	}
+	// Range with a 'from' key that is absent.
+	got = got[:0]
+	tr.Delete(key(50))
+	tr.AscendRange(key(50), key(53), func(k string, v any) bool {
+		got = append(got, v.(int))
+		return true
+	})
+	if len(got) != 2 || got[0] != 51 {
+		t.Fatalf("range from absent key = %v", got)
+	}
+}
+
+func TestRandomOpsAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := New(5)
+	ref := map[string]int{}
+	for op := 0; op < 20000; op++ {
+		k := key(rng.Intn(800))
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := rng.Int()
+			insertedRef := false
+			if _, ok := ref[k]; !ok {
+				insertedRef = true
+			}
+			if got := tr.Put(k, v); got != insertedRef {
+				t.Fatalf("op %d: Put inserted=%v, want %v", op, got, insertedRef)
+			}
+			ref[k] = v
+		case 2:
+			_, inRef := ref[k]
+			if got := tr.Delete(k); got != inRef {
+				t.Fatalf("op %d: Delete=%v, want %v", op, got, inRef)
+			}
+			delete(ref, k)
+		}
+		if op%971 == 0 {
+			if err := tr.Check(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, ref %d", tr.Len(), len(ref))
+	}
+	for k, v := range ref {
+		got, ok := tr.Get(k)
+		if !ok || got.(int) != v {
+			t.Fatalf("Get(%q) = %v,%v want %d", k, got, ok, v)
+		}
+	}
+	// Full scan matches the sorted reference.
+	keys := make([]string, 0, len(ref))
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	i := 0
+	tr.Ascend(func(k string, v any) bool {
+		if k != keys[i] {
+			t.Fatalf("scan[%d] = %q, want %q", i, k, keys[i])
+		}
+		i++
+		return true
+	})
+	if i != len(keys) {
+		t.Fatalf("scan visited %d, want %d", i, len(keys))
+	}
+}
+
+func TestQuickInvariants(t *testing.T) {
+	f := func(seed int64, orderSel uint8, n uint16) bool {
+		order := 3 + int(orderSel)%14
+		rng := rand.New(rand.NewSource(seed))
+		tr := New(order)
+		count := int(n)%400 + 1
+		for i := 0; i < count; i++ {
+			tr.Put(key(rng.Intn(count)), i)
+		}
+		if tr.Check() != nil {
+			return false
+		}
+		for i := 0; i < count/2; i++ {
+			tr.Delete(key(rng.Intn(count)))
+		}
+		return tr.Check() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowOrderClamped(t *testing.T) {
+	tr := New(1) // clamps to DefaultOrder
+	for i := 0; i < 100; i++ {
+		tr.Put(key(i), i)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+package btree
+
+import "fmt"
+
+// check recursively validates node invariants: key ordering, key bounds
+// (lo <= keys < hi when bounds are non-empty), fill factors, child counts,
+// and uniform leaf depth.
+func (n *node) check(t *Tree, isRoot bool, lo, hi string) error {
+	for i := 1; i < len(n.keys); i++ {
+		if n.keys[i-1] >= n.keys[i] {
+			return fmt.Errorf("btree: keys out of order: %q >= %q", n.keys[i-1], n.keys[i])
+		}
+	}
+	for _, k := range n.keys {
+		if lo != "" && k < lo {
+			return fmt.Errorf("btree: key %q below bound %q", k, lo)
+		}
+		if hi != "" && k >= hi {
+			return fmt.Errorf("btree: key %q above bound %q", k, hi)
+		}
+	}
+	if n.leaf {
+		if len(n.vals) != len(n.keys) {
+			return fmt.Errorf("btree: leaf keys/vals mismatch %d/%d", len(n.keys), len(n.vals))
+		}
+		if !isRoot && len(n.keys) < t.minKeys() {
+			return fmt.Errorf("btree: leaf underfull: %d < %d", len(n.keys), t.minKeys())
+		}
+		if len(n.keys) >= t.order {
+			return fmt.Errorf("btree: leaf overfull: %d >= %d", len(n.keys), t.order)
+		}
+		return nil
+	}
+	if len(n.children) != len(n.keys)+1 {
+		return fmt.Errorf("btree: child count %d != keys+1 (%d)", len(n.children), len(n.keys)+1)
+	}
+	if len(n.children) > t.order {
+		return fmt.Errorf("btree: internal overfull: %d children > order %d", len(n.children), t.order)
+	}
+	if !isRoot && len(n.keys) < t.minKeys() {
+		return fmt.Errorf("btree: internal underfull: %d < %d", len(n.keys), t.minKeys())
+	}
+	if isRoot && len(n.children) < 2 {
+		return fmt.Errorf("btree: internal root with %d children", len(n.children))
+	}
+	depth := -1
+	for i, c := range n.children {
+		clo, chi := lo, hi
+		if i > 0 {
+			clo = n.keys[i-1]
+		}
+		if i < len(n.keys) {
+			chi = n.keys[i]
+		}
+		if err := c.check(t, false, clo, chi); err != nil {
+			return err
+		}
+		d := c.depth()
+		if depth == -1 {
+			depth = d
+		} else if d != depth {
+			return fmt.Errorf("btree: uneven leaf depth %d vs %d", d, depth)
+		}
+	}
+	return nil
+}
+
+func (n *node) depth() int {
+	d := 1
+	for !n.leaf {
+		d++
+		n = n.children[0]
+	}
+	return d
+}

@@ -1,0 +1,4 @@
+package btree
+
+// Check exposes structural validation to tests.
+func (t *Tree) Check() error { return t.check() }

@@ -1,0 +1,156 @@
+// Package carminati implements the rule-based access control baseline the
+// paper positions itself against (§4): Carminati, Ferrari and Perego,
+// "Rule-Based Access Control for Social Networks" (OTM 2006). There, the
+// target of an authorization is a sub-graph centered on the resource owner:
+// a single relationship type, a maximum distance (fixed radius), and a
+// minimum trust level propagated along the connecting path.
+//
+// The paper's contribution generalizes this model — ordered multi-type
+// sequences, per-step directions and depth intervals, and attribute
+// predicates — so this package serves two purposes: a working comparator
+// for the expressiveness discussion (EXPERIMENTS.md E7), and a test oracle
+// (a trust-free Carminati rule (t, d) must decide exactly like the path
+// expression t+[1,d]).
+package carminati
+
+import (
+	"fmt"
+
+	"reachac/internal/graph"
+)
+
+// Rule is a Carminati-style authorization: requesters within MaxDepth hops
+// of the owner over edges of a single relationship Type, connected by a
+// path whose propagated trust is at least MinTrust.
+type Rule struct {
+	// Type is the single relationship type of the sub-graph.
+	Type string
+	// MaxDepth is the radius of the authorized sub-graph (>= 1).
+	MaxDepth int
+	// MinTrust is the minimum propagated trust in [0, 1]; trust multiplies
+	// along a path, and the best path counts. Zero accepts any path.
+	MinTrust float64
+}
+
+// Validate checks structural sanity.
+func (r Rule) Validate() error {
+	if r.Type == "" {
+		return fmt.Errorf("carminati: empty relationship type")
+	}
+	if r.MaxDepth < 1 {
+		return fmt.Errorf("carminati: max depth %d < 1", r.MaxDepth)
+	}
+	if r.MinTrust < 0 || r.MinTrust > 1 {
+		return fmt.Errorf("carminati: min trust %v outside [0,1]", r.MinTrust)
+	}
+	return nil
+}
+
+// edgeTrust interprets an edge's weight annotation as a trust level; the
+// generator leaves most weights at 0, which reads as fully trusted (1.0) so
+// that trust-free graphs behave like the unweighted model.
+func edgeTrust(e graph.Edge) float64 {
+	if e.Weight == 0 {
+		return 1.0
+	}
+	return e.Weight
+}
+
+// Engine evaluates Carminati rules over a social graph.
+type Engine struct {
+	g *graph.Graph
+}
+
+// New returns an evaluator over g.
+func New(g *graph.Graph) *Engine { return &Engine{g: g} }
+
+// Decide reports whether requester falls inside the rule's authorized
+// sub-graph around owner, and the best propagated trust of a qualifying
+// path (0 when denied).
+func (e *Engine) Decide(owner, requester graph.NodeID, r Rule) (bool, float64, error) {
+	if err := r.Validate(); err != nil {
+		return false, 0, err
+	}
+	if !e.g.ValidNode(owner) || !e.g.ValidNode(requester) {
+		return false, 0, fmt.Errorf("carminati: invalid node (owner=%d requester=%d)", owner, requester)
+	}
+	label, ok := e.g.LookupLabel(r.Type)
+	if !ok {
+		return false, 0, nil
+	}
+	// Dijkstra-flavored best-trust search, layered by depth: best[v] is the
+	// highest trust of any path to v found within the depth bound so far.
+	// Because trust multiplies by factors <= 1, shorter prefixes never hurt,
+	// so a per-depth BFS keeping the per-node maximum is exact.
+	best := make(map[graph.NodeID]float64, 16)
+	best[owner] = 1.0
+	frontier := map[graph.NodeID]float64{owner: 1.0}
+	granted := false
+	bestGrant := 0.0
+	for depth := 1; depth <= r.MaxDepth && len(frontier) > 0; depth++ {
+		next := make(map[graph.NodeID]float64)
+		for v, trust := range frontier {
+			e.g.OutEdges(v, func(ed graph.Edge) bool {
+				if ed.Label != label {
+					return true
+				}
+				t := trust * edgeTrust(ed)
+				if t < r.MinTrust {
+					return true // trust only decays; prune
+				}
+				if ed.To == requester {
+					// Grant independently of dominance: the owner's own
+					// seed trust must not mask a cycle back to them.
+					granted = true
+					if t > bestGrant {
+						bestGrant = t
+					}
+				}
+				// Dominance: only an improved trust re-expands a node. The
+				// owner's seed (1.0) correctly dominates cycles back through
+				// the owner — removing such a cycle always leaves a shorter
+				// path with at least the same trust.
+				if t > best[ed.To] {
+					best[ed.To] = t
+					next[ed.To] = t
+				}
+				return true
+			})
+		}
+		frontier = next
+	}
+	if !granted {
+		return false, 0, nil
+	}
+	return true, bestGrant, nil
+}
+
+// Audience enumerates every member the rule authorizes around owner, in
+// node-ID order.
+func (e *Engine) Audience(owner graph.NodeID, r Rule) ([]graph.NodeID, error) {
+	var out []graph.NodeID
+	var firstErr error
+	e.g.Nodes(func(n graph.Node) bool {
+		if n.ID == owner {
+			return true
+		}
+		ok, _, err := e.Decide(owner, n.ID, r)
+		if err != nil {
+			firstErr = err
+			return false
+		}
+		if ok {
+			out = append(out, n.ID)
+		}
+		return true
+	})
+	return out, firstErr
+}
+
+// AsPathExpr renders the trust-free part of a rule in the paper's path
+// language: (t, d) becomes "t+[1,d]". The trust threshold has no
+// counterpart in the path language (weights are uninterpreted there), which
+// is the one direction in which Carminati's model is not subsumed.
+func (r Rule) AsPathExpr() string {
+	return fmt.Sprintf("%s+[1,%d]", r.Type, r.MaxDepth)
+}

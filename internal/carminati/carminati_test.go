@@ -1,0 +1,195 @@
+package carminati
+
+import (
+	"math/rand"
+	"testing"
+
+	"reachac/internal/graph"
+	"reachac/internal/paperfix"
+	"reachac/internal/pathexpr"
+	"reachac/internal/search"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Rule{
+		{Type: "", MaxDepth: 1},
+		{Type: "friend", MaxDepth: 0},
+		{Type: "friend", MaxDepth: 1, MinTrust: -0.1},
+		{Type: "friend", MaxDepth: 1, MinTrust: 1.1},
+	}
+	for i, r := range bad {
+		if r.Validate() == nil {
+			t.Errorf("case %d: %+v accepted", i, r)
+		}
+	}
+	if (Rule{Type: "friend", MaxDepth: 3, MinTrust: 0.5}).Validate() != nil {
+		t.Error("valid rule rejected")
+	}
+}
+
+func TestPaperGraphRadius(t *testing.T) {
+	g := paperfix.Graph()
+	e := New(g)
+	alice, _ := g.NodeByName(paperfix.Alice)
+	george, _ := g.NodeByName(paperfix.George)
+	// friend radius 3 reaches George (Alice-Bill-Elena-George); radius 2
+	// does not.
+	ok, trust, err := e.Decide(alice, george, Rule{Type: "friend", MaxDepth: 3})
+	if err != nil || !ok || trust <= 0 {
+		t.Fatalf("radius 3: %v %v %v", ok, trust, err)
+	}
+	ok, _, err = e.Decide(alice, george, Rule{Type: "friend", MaxDepth: 2})
+	if err != nil || ok {
+		t.Fatalf("radius 2 wrongly granted: %v %v", ok, err)
+	}
+}
+
+func TestTrustThreshold(t *testing.T) {
+	g := graph.New()
+	a := g.MustAddNode("a", nil)
+	b := g.MustAddNode("b", nil)
+	c := g.MustAddNode("c", nil)
+	// a -0.8-> b -0.5-> c : propagated trust to c = 0.4.
+	if _, err := g.AddWeightedEdge(a, b, "friend", 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddWeightedEdge(b, c, "friend", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	e := New(g)
+	ok, trust, err := e.Decide(a, c, Rule{Type: "friend", MaxDepth: 2, MinTrust: 0.3})
+	if err != nil || !ok {
+		t.Fatalf("0.3 threshold: %v %v", ok, err)
+	}
+	if trust < 0.399 || trust > 0.401 {
+		t.Fatalf("propagated trust = %v, want 0.4", trust)
+	}
+	ok, _, err = e.Decide(a, c, Rule{Type: "friend", MaxDepth: 2, MinTrust: 0.5})
+	if err != nil || ok {
+		t.Fatalf("0.5 threshold wrongly granted: %v %v", ok, err)
+	}
+	// Direct neighbor passes a high threshold.
+	ok, trust, _ = e.Decide(a, b, Rule{Type: "friend", MaxDepth: 2, MinTrust: 0.8})
+	if !ok || trust != 0.8 {
+		t.Fatalf("direct: %v %v", ok, trust)
+	}
+}
+
+func TestBestPathWins(t *testing.T) {
+	// Two paths to the target: a long trusted one and a short weak one; the
+	// engine must report the best propagated trust.
+	g := graph.New()
+	a := g.MustAddNode("a", nil)
+	m := g.MustAddNode("m", nil)
+	tgt := g.MustAddNode("t", nil)
+	if _, err := g.AddWeightedEdge(a, tgt, "friend", 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddWeightedEdge(a, m, "friend", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddWeightedEdge(m, tgt, "friend", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	e := New(g)
+	ok, trust, err := e.Decide(a, tgt, Rule{Type: "friend", MaxDepth: 2, MinTrust: 0.5})
+	if err != nil || !ok {
+		t.Fatalf("best path: %v %v", ok, err)
+	}
+	if trust < 0.80 || trust > 0.82 {
+		t.Fatalf("best trust = %v, want 0.81", trust)
+	}
+}
+
+// TestTrustFreeEquivalence checks the §4 subsumption claim: a trust-free
+// Carminati rule (t, d) decides exactly like the paper-model path t+[1,d].
+func TestTrustFreeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	labels := []string{"friend", "colleague"}
+	for trial := 0; trial < 15; trial++ {
+		n := 4 + rng.Intn(12)
+		g := graph.New()
+		for i := 0; i < n; i++ {
+			g.MustAddNode(name(i), nil)
+		}
+		for i := 0; i < n*3; i++ {
+			u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			if u != v {
+				_, _ = g.AddEdge(u, v, labels[rng.Intn(len(labels))])
+			}
+		}
+		ce := New(g)
+		se := search.New(g)
+		for _, d := range []int{1, 2, 3} {
+			rule := Rule{Type: "friend", MaxDepth: d}
+			p := pathexpr.MustParse(rule.AsPathExpr())
+			for o := 0; o < n; o++ {
+				for r := 0; r < n; r++ {
+					oid, rid := graph.NodeID(o), graph.NodeID(r)
+					want, err := se.Reachable(oid, rid, p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, _, err := ce.Decide(oid, rid, rule)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != want {
+						t.Fatalf("trial %d d=%d: (%d,%d) carminati=%v path=%v",
+							trial, d, o, r, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func name(i int) string {
+	return "c" + string(rune('a'+i/26)) + string(rune('a'+i%26))
+}
+
+func TestAudience(t *testing.T) {
+	g := paperfix.Graph()
+	e := New(g)
+	alice, _ := g.NodeByName(paperfix.Alice)
+	audience, err := e.Audience(alice, Rule{Type: "friend", MaxDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alice's direct friends: Colin, Bill.
+	if len(audience) != 2 {
+		t.Fatalf("audience = %v", audience)
+	}
+	names := map[string]bool{}
+	for _, id := range audience {
+		names[g.Node(id).Name] = true
+	}
+	if !names[paperfix.Colin] || !names[paperfix.Bill] {
+		t.Fatalf("audience names = %v", names)
+	}
+}
+
+func TestUnknownLabelAndInvalidNodes(t *testing.T) {
+	g := paperfix.Graph()
+	e := New(g)
+	ok, _, err := e.Decide(0, 1, Rule{Type: "enemy", MaxDepth: 2})
+	if err != nil || ok {
+		t.Fatalf("unknown label: %v %v", ok, err)
+	}
+	if _, _, err := e.Decide(999, 0, Rule{Type: "friend", MaxDepth: 1}); err == nil {
+		t.Fatal("invalid node accepted")
+	}
+	if _, _, err := e.Decide(0, 1, Rule{Type: "friend", MaxDepth: 0}); err == nil {
+		t.Fatal("invalid rule accepted")
+	}
+}
+
+func TestAsPathExpr(t *testing.T) {
+	r := Rule{Type: "friend", MaxDepth: 3, MinTrust: 0.5}
+	if r.AsPathExpr() != "friend+[1,3]" {
+		t.Fatalf("AsPathExpr = %q", r.AsPathExpr())
+	}
+	if _, err := pathexpr.Parse(r.AsPathExpr()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,286 @@
+// Package core implements the paper's access control model (§2): user
+// privacy preferences are stored as access rules (Definition 2), each a set
+// of access conditions (Definition 3) whose path expressions must all be
+// satisfied by a requester. Each time a user requests a resource, the
+// system intercepts the request and, on the basis of the rules, grants or
+// denies access.
+//
+// Semantics implemented here:
+//
+//   - Deny by default: a resource with no registered rules, or an unknown
+//     resource, is accessible only to its owner.
+//   - The owner always has access to their own resource.
+//   - A rule grants access iff ALL of its access conditions are validated
+//     ("In order to be valid, an access rule should have all its access
+//     conditions validated", §2).
+//   - Multiple rules on one resource are alternative audiences: access is
+//     granted iff at least one rule is valid.
+//
+// Validating a condition reduces to an ordered label-constraint
+// reachability query between owner and requester, delegated to an Evaluator
+// (online search, transitive closure, or the cluster-based join index).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"reachac/internal/graph"
+	"reachac/internal/pathexpr"
+)
+
+// ResourceID identifies a shared resource (photo, note, profile field, …).
+type ResourceID string
+
+// Condition is one access condition (o, p) of Definition 3; the owner o is
+// carried by the enclosing rule.
+type Condition struct {
+	// Path is the reachability constraint the requester must satisfy
+	// relative to the owner.
+	Path *pathexpr.Path
+}
+
+// Rule is an access rule (rid, ACS) of Definition 2, issued by the resource
+// owner. All conditions must hold for the rule to grant access.
+type Rule struct {
+	// ID names the rule within its resource, for auditing.
+	ID string
+	// Resource is the rid of Definition 2.
+	Resource ResourceID
+	// Owner is the node the conditions' paths start from.
+	Owner graph.NodeID
+	// Conditions all must be satisfied (conjunction).
+	Conditions []Condition
+}
+
+// Validate checks structural sanity of the rule.
+func (r *Rule) Validate() error {
+	if r.Resource == "" {
+		return fmt.Errorf("core: rule %q has empty resource", r.ID)
+	}
+	if len(r.Conditions) == 0 {
+		return fmt.Errorf("core: rule %q has no conditions", r.ID)
+	}
+	for i, c := range r.Conditions {
+		if c.Path == nil {
+			return fmt.Errorf("core: rule %q condition %d has nil path", r.ID, i)
+		}
+		if err := c.Path.Validate(); err != nil {
+			return fmt.Errorf("core: rule %q condition %d: %w", r.ID, i, err)
+		}
+	}
+	return nil
+}
+
+// Evaluator answers ordered label-constraint reachability queries. The
+// engines in internal/search, internal/tclosure and internal/joinindex all
+// implement it.
+type Evaluator interface {
+	Reachable(owner, requester graph.NodeID, p *pathexpr.Path) (bool, error)
+}
+
+// Store holds resource ownership and the access rules protecting each
+// resource. It is safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	owners map[ResourceID]graph.NodeID
+	rules  map[ResourceID][]*Rule
+	nextID int
+}
+
+// NewStore returns an empty policy store.
+func NewStore() *Store {
+	return &Store{
+		owners: make(map[ResourceID]graph.NodeID),
+		rules:  make(map[ResourceID][]*Rule),
+	}
+}
+
+// Register declares a resource and its owner. Re-registering with a
+// different owner is an error.
+func (s *Store) Register(res ResourceID, owner graph.NodeID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.owners[res]; ok && cur != owner {
+		return fmt.Errorf("core: resource %q already owned by node %d", res, cur)
+	}
+	s.owners[res] = owner
+	return nil
+}
+
+// Owner returns the owner of a registered resource.
+func (s *Store) Owner(res ResourceID) (graph.NodeID, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.owners[res]
+	return o, ok
+}
+
+// AddRule attaches a rule to its resource. The resource must be registered
+// and owned by the rule's owner. An empty rule ID is assigned automatically.
+func (s *Store) AddRule(r *Rule) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	owner, ok := s.owners[r.Resource]
+	if !ok {
+		return fmt.Errorf("core: resource %q not registered", r.Resource)
+	}
+	if owner != r.Owner {
+		return fmt.Errorf("core: rule owner %d is not resource owner %d", r.Owner, owner)
+	}
+	if r.ID == "" {
+		s.nextID++
+		r.ID = fmt.Sprintf("rule-%d", s.nextID)
+	}
+	for _, existing := range s.rules[r.Resource] {
+		if existing.ID == r.ID {
+			return fmt.Errorf("core: duplicate rule id %q on resource %q", r.ID, r.Resource)
+		}
+	}
+	s.rules[r.Resource] = append(s.rules[r.Resource], r)
+	return nil
+}
+
+// RemoveRule detaches a rule by id; it reports whether the rule existed.
+func (s *Store) RemoveRule(res ResourceID, ruleID string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rules := s.rules[res]
+	for i, r := range rules {
+		if r.ID == ruleID {
+			s.rules[res] = append(rules[:i], rules[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// RulesFor returns a copy of the rules protecting a resource.
+func (s *Store) RulesFor(res ResourceID) []*Rule {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]*Rule(nil), s.rules[res]...)
+}
+
+// Resources returns all registered resource IDs, sorted.
+func (s *Store) Resources() []ResourceID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]ResourceID, 0, len(s.owners))
+	for r := range s.owners {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Effect is the outcome of an access decision.
+type Effect uint8
+
+// Decision effects.
+const (
+	Deny Effect = iota
+	Allow
+)
+
+func (e Effect) String() string {
+	if e == Allow {
+		return "allow"
+	}
+	return "deny"
+}
+
+// Decision records the outcome of one access request.
+type Decision struct {
+	Resource  ResourceID
+	Requester graph.NodeID
+	Effect    Effect
+	// RuleID is the granting rule, "owner" for owner access, "" on deny.
+	RuleID string
+	// Reason is a human-readable explanation.
+	Reason string
+}
+
+// Engine intercepts access requests and decides them against a Store using
+// an Evaluator, keeping a bounded audit trail.
+type Engine struct {
+	store *Store
+	eval  Evaluator
+
+	mu         sync.Mutex
+	audit      []Decision
+	auditLimit int
+}
+
+// NewEngine returns a decision engine. auditLimit bounds the retained audit
+// trail (0 keeps the default of 1024 entries; negative disables auditing).
+func NewEngine(store *Store, eval Evaluator, auditLimit int) *Engine {
+	if auditLimit == 0 {
+		auditLimit = 1024
+	}
+	return &Engine{store: store, eval: eval, auditLimit: auditLimit}
+}
+
+// Decide answers one access request: may requester access res?
+func (e *Engine) Decide(res ResourceID, requester graph.NodeID) (Decision, error) {
+	d := Decision{Resource: res, Requester: requester}
+	owner, ok := e.store.Owner(res)
+	if !ok {
+		d.Reason = "unknown resource"
+		e.record(d)
+		return d, nil
+	}
+	if owner == requester {
+		d.Effect = Allow
+		d.RuleID = "owner"
+		d.Reason = "requester owns the resource"
+		e.record(d)
+		return d, nil
+	}
+	for _, rule := range e.store.RulesFor(res) {
+		valid := true
+		for _, cond := range rule.Conditions {
+			ok, err := e.eval.Reachable(rule.Owner, requester, cond.Path)
+			if err != nil {
+				return Decision{}, fmt.Errorf("core: evaluating rule %q: %w", rule.ID, err)
+			}
+			if !ok {
+				valid = false
+				break
+			}
+		}
+		if valid {
+			d.Effect = Allow
+			d.RuleID = rule.ID
+			d.Reason = fmt.Sprintf("all conditions of rule %q satisfied", rule.ID)
+			e.record(d)
+			return d, nil
+		}
+	}
+	d.Reason = "no access rule satisfied"
+	e.record(d)
+	return d, nil
+}
+
+func (e *Engine) record(d Decision) {
+	if e.auditLimit < 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.audit = append(e.audit, d)
+	if len(e.audit) > e.auditLimit {
+		e.audit = e.audit[len(e.audit)-e.auditLimit:]
+	}
+}
+
+// Audit returns a copy of the retained decision trail, oldest first.
+func (e *Engine) Audit() []Decision {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Decision(nil), e.audit...)
+}

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"reachac/internal/graph"
+	"reachac/internal/paperfix"
+	"reachac/internal/pathexpr"
+	"reachac/internal/search"
+)
+
+func fixture(t *testing.T) (*graph.Graph, *Store, *Engine, map[string]graph.NodeID) {
+	t.Helper()
+	g := paperfix.Graph()
+	store := NewStore()
+	eng := NewEngine(store, search.New(g), 0)
+	ids := make(map[string]graph.NodeID)
+	for _, n := range paperfix.Names {
+		id, _ := g.NodeByName(n)
+		ids[n] = id
+	}
+	return g, store, eng, ids
+}
+
+func TestOwnerAlwaysAllowed(t *testing.T) {
+	_, store, eng, ids := fixture(t)
+	if err := store.Register("photo1", ids[paperfix.Alice]); err != nil {
+		t.Fatal(err)
+	}
+	d, err := eng.Decide("photo1", ids[paperfix.Alice])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Effect != Allow || d.RuleID != "owner" {
+		t.Fatalf("owner decision = %+v", d)
+	}
+}
+
+func TestDenyByDefault(t *testing.T) {
+	_, store, eng, ids := fixture(t)
+	if err := store.Register("photo1", ids[paperfix.Alice]); err != nil {
+		t.Fatal(err)
+	}
+	// No rules: everyone but the owner is denied.
+	d, err := eng.Decide("photo1", ids[paperfix.Bill])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Effect != Deny {
+		t.Fatalf("no-rule decision = %+v", d)
+	}
+	// Unknown resource: denied with reason.
+	d, err = eng.Decide("ghost", ids[paperfix.Alice])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Effect != Deny || d.Reason != "unknown resource" {
+		t.Fatalf("unknown resource decision = %+v", d)
+	}
+}
+
+func TestSingleRuleGrant(t *testing.T) {
+	_, store, eng, ids := fixture(t)
+	alice := ids[paperfix.Alice]
+	if err := store.Register("notes", alice); err != nil {
+		t.Fatal(err)
+	}
+	err := store.AddRule(&Rule{
+		Resource:   "notes",
+		Owner:      alice,
+		Conditions: []Condition{{Path: paperfix.QFriendParentFriend()}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// George matches Alice->Colin->Fred->George.
+	d, err := eng.Decide("notes", ids[paperfix.George])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Effect != Allow || d.RuleID == "" {
+		t.Fatalf("George decision = %+v", d)
+	}
+	// Bill does not match.
+	d, err = eng.Decide("notes", ids[paperfix.Bill])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Effect != Deny {
+		t.Fatalf("Bill decision = %+v", d)
+	}
+}
+
+func TestConjunctionOfConditions(t *testing.T) {
+	_, store, eng, ids := fixture(t)
+	alice := ids[paperfix.Alice]
+	if err := store.Register("album", alice); err != nil {
+		t.Fatal(err)
+	}
+	// Audience: reachable both via friend[1,3] AND via friend/parent/friend.
+	err := store.AddRule(&Rule{
+		ID:       "both",
+		Resource: "album",
+		Owner:    alice,
+		Conditions: []Condition{
+			{Path: pathexpr.MustParse("friend+[1,3]")},
+			{Path: paperfix.QFriendParentFriend()},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// George satisfies both (friend chain of length 3 + the f/p/f path).
+	d, _ := eng.Decide("album", ids[paperfix.George])
+	if d.Effect != Allow {
+		t.Fatalf("George conjunctive decision = %+v", d)
+	}
+	// Colin satisfies friend+[1,3] but not friend/parent/friend.
+	d, _ = eng.Decide("album", ids[paperfix.Colin])
+	if d.Effect != Deny {
+		t.Fatalf("Colin conjunctive decision = %+v", d)
+	}
+}
+
+func TestMultipleRulesAreAlternatives(t *testing.T) {
+	_, store, eng, ids := fixture(t)
+	alice := ids[paperfix.Alice]
+	if err := store.Register("post", alice); err != nil {
+		t.Fatal(err)
+	}
+	mustAdd := func(r *Rule) {
+		t.Helper()
+		if err := store.AddRule(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(&Rule{ID: "direct-friends", Resource: "post", Owner: alice,
+		Conditions: []Condition{{Path: pathexpr.MustParse("friend+[1]")}}})
+	mustAdd(&Rule{ID: "colleagues", Resource: "post", Owner: alice,
+		Conditions: []Condition{{Path: pathexpr.MustParse("colleague+[1]")}}})
+	// Bill is a direct friend; David is a colleague; both get in, each via
+	// their own rule.
+	d, _ := eng.Decide("post", ids[paperfix.Bill])
+	if d.Effect != Allow || d.RuleID != "direct-friends" {
+		t.Fatalf("Bill = %+v", d)
+	}
+	d, _ = eng.Decide("post", ids[paperfix.David])
+	if d.Effect != Allow || d.RuleID != "colleagues" {
+		t.Fatalf("David = %+v", d)
+	}
+	// Fred matches neither.
+	d, _ = eng.Decide("post", ids[paperfix.Fred])
+	if d.Effect != Deny {
+		t.Fatalf("Fred = %+v", d)
+	}
+}
+
+func TestPolicyMonotonicity(t *testing.T) {
+	// Adding a rule never revokes access; removing one never grants it.
+	_, store, eng, ids := fixture(t)
+	alice := ids[paperfix.Alice]
+	if err := store.Register("r", alice); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.AddRule(&Rule{ID: "a", Resource: "r", Owner: alice,
+		Conditions: []Condition{{Path: pathexpr.MustParse("friend+[1]")}}}); err != nil {
+		t.Fatal(err)
+	}
+	allowedBefore := map[string]bool{}
+	for _, n := range paperfix.Names {
+		d, _ := eng.Decide("r", ids[n])
+		allowedBefore[n] = d.Effect == Allow
+	}
+	if err := store.AddRule(&Rule{ID: "b", Resource: "r", Owner: alice,
+		Conditions: []Condition{{Path: pathexpr.MustParse("colleague+[1]")}}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range paperfix.Names {
+		d, _ := eng.Decide("r", ids[n])
+		if allowedBefore[n] && d.Effect != Allow {
+			t.Fatalf("adding a rule revoked %s", n)
+		}
+	}
+	// Remove rule b again: nobody who was denied before may now be allowed.
+	if !store.RemoveRule("r", "b") {
+		t.Fatal("RemoveRule failed")
+	}
+	for _, n := range paperfix.Names {
+		d, _ := eng.Decide("r", ids[n])
+		if !allowedBefore[n] && d.Effect == Allow {
+			t.Fatalf("removing a rule granted %s", n)
+		}
+	}
+}
+
+func TestStoreValidation(t *testing.T) {
+	_, store, _, ids := fixture(t)
+	alice := ids[paperfix.Alice]
+	bill := ids[paperfix.Bill]
+	p := pathexpr.MustParse("friend+[1]")
+
+	// Rule on unregistered resource.
+	err := store.AddRule(&Rule{Resource: "nope", Owner: alice,
+		Conditions: []Condition{{Path: p}}})
+	if err == nil {
+		t.Fatal("rule on unregistered resource accepted")
+	}
+	if err := store.Register("r", alice); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong owner.
+	err = store.AddRule(&Rule{Resource: "r", Owner: bill,
+		Conditions: []Condition{{Path: p}}})
+	if err == nil {
+		t.Fatal("rule by non-owner accepted")
+	}
+	// Structurally invalid rules.
+	bad := []*Rule{
+		{Resource: "", Owner: alice, Conditions: []Condition{{Path: p}}},
+		{Resource: "r", Owner: alice},
+		{Resource: "r", Owner: alice, Conditions: []Condition{{Path: nil}}},
+		{Resource: "r", Owner: alice, Conditions: []Condition{{Path: &pathexpr.Path{}}}},
+	}
+	for i, r := range bad {
+		if err := store.AddRule(r); err == nil {
+			t.Errorf("bad rule %d accepted", i)
+		}
+	}
+	// Duplicate rule IDs.
+	if err := store.AddRule(&Rule{ID: "x", Resource: "r", Owner: alice,
+		Conditions: []Condition{{Path: p}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.AddRule(&Rule{ID: "x", Resource: "r", Owner: alice,
+		Conditions: []Condition{{Path: p}}}); err == nil {
+		t.Fatal("duplicate rule id accepted")
+	}
+	// Re-register with a different owner.
+	if err := store.Register("r", bill); err == nil {
+		t.Fatal("re-register with different owner accepted")
+	}
+	// Same owner re-register is fine.
+	if err := store.Register("r", alice); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAutoRuleIDs(t *testing.T) {
+	_, store, _, ids := fixture(t)
+	alice := ids[paperfix.Alice]
+	if err := store.Register("r", alice); err != nil {
+		t.Fatal(err)
+	}
+	p := pathexpr.MustParse("friend+[1]")
+	r1 := &Rule{Resource: "r", Owner: alice, Conditions: []Condition{{Path: p}}}
+	r2 := &Rule{Resource: "r", Owner: alice, Conditions: []Condition{{Path: p.Clone()}}}
+	if err := store.AddRule(r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.AddRule(r2); err != nil {
+		t.Fatal(err)
+	}
+	if r1.ID == "" || r2.ID == "" || r1.ID == r2.ID {
+		t.Fatalf("auto IDs: %q %q", r1.ID, r2.ID)
+	}
+}
+
+func TestResourcesSorted(t *testing.T) {
+	_, store, _, ids := fixture(t)
+	for _, r := range []ResourceID{"zeta", "alpha", "mid"} {
+		if err := store.Register(r, ids[paperfix.Alice]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := store.Resources()
+	if len(got) != 3 || got[0] != "alpha" || got[1] != "mid" || got[2] != "zeta" {
+		t.Fatalf("Resources = %v", got)
+	}
+}
+
+func TestAuditTrail(t *testing.T) {
+	_, store, _, ids := fixture(t)
+	alice := ids[paperfix.Alice]
+	if err := store.Register("r", alice); err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(store, search.New(paperfix.Graph()), 3)
+	for i := 0; i < 5; i++ {
+		if _, err := eng.Decide("r", alice); err != nil {
+			t.Fatal(err)
+		}
+	}
+	audit := eng.Audit()
+	if len(audit) != 3 {
+		t.Fatalf("audit kept %d entries, want 3", len(audit))
+	}
+	// Disabled auditing.
+	eng2 := NewEngine(store, search.New(paperfix.Graph()), -1)
+	if _, err := eng2.Decide("r", alice); err != nil {
+		t.Fatal(err)
+	}
+	if len(eng2.Audit()) != 0 {
+		t.Fatal("disabled audit recorded entries")
+	}
+}
+
+func TestConcurrentDecides(t *testing.T) {
+	g, store, _, ids := fixture(t)
+	alice := ids[paperfix.Alice]
+	if err := store.Register("r", alice); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.AddRule(&Rule{Resource: "r", Owner: alice,
+		Conditions: []Condition{{Path: pathexpr.MustParse("friend+[1,2]")}}}); err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(store, search.New(g), 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				for _, n := range paperfix.Names {
+					if _, err := eng.Decide("r", ids[n]); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestEffectString(t *testing.T) {
+	if Allow.String() != "allow" || Deny.String() != "deny" {
+		t.Fatal("Effect strings")
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"reachac/internal/graph"
+	"reachac/internal/pathexpr"
+)
+
+// Policies are persisted as line-delimited JSON: one header, then one record
+// per resource carrying its owner and rules (conditions as path-expression
+// strings, which Parse round-trips exactly).
+
+const policyMagic = "reachac-policy-v1"
+
+type policyHeader struct {
+	Magic     string `json:"magic"`
+	Resources int    `json:"resources"`
+}
+
+type policyRule struct {
+	ID         string   `json:"id"`
+	Conditions []string `json:"conditions"`
+}
+
+type policyResource struct {
+	Resource string       `json:"resource"`
+	Owner    uint32       `json:"owner"`
+	Rules    []policyRule `json:"rules,omitempty"`
+}
+
+// Write serializes the store to w.
+func (s *Store) Write(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(policyHeader{Magic: policyMagic, Resources: len(s.owners)}); err != nil {
+		return err
+	}
+	// Deterministic order via sorted resource IDs.
+	resources := make([]ResourceID, 0, len(s.owners))
+	for r := range s.owners {
+		resources = append(resources, r)
+	}
+	sortResources(resources)
+	for _, res := range resources {
+		rec := policyResource{Resource: string(res), Owner: uint32(s.owners[res])}
+		for _, rule := range s.rules[res] {
+			pr := policyRule{ID: rule.ID}
+			for _, c := range rule.Conditions {
+				pr.Conditions = append(pr.Conditions, c.Path.String())
+			}
+			rec.Rules = append(rec.Rules, pr)
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func sortResources(rs []ResourceID) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j-1] > rs[j]; j-- {
+			rs[j-1], rs[j] = rs[j], rs[j-1]
+		}
+	}
+}
+
+// ReadStore deserializes a store written by Write. Owners are validated
+// against g.
+func ReadStore(r io.Reader, g *graph.Graph) (*Store, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var hdr policyHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("core: reading policy header: %w", err)
+	}
+	if hdr.Magic != policyMagic {
+		return nil, fmt.Errorf("core: bad policy magic %q", hdr.Magic)
+	}
+	s := NewStore()
+	for i := 0; i < hdr.Resources; i++ {
+		var rec policyResource
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("core: reading policy resource %d: %w", i, err)
+		}
+		owner := graph.NodeID(rec.Owner)
+		if !g.ValidNode(owner) {
+			return nil, fmt.Errorf("core: resource %q owner %d not in graph", rec.Resource, rec.Owner)
+		}
+		if err := s.Register(ResourceID(rec.Resource), owner); err != nil {
+			return nil, err
+		}
+		for _, pr := range rec.Rules {
+			rule := &Rule{ID: pr.ID, Resource: ResourceID(rec.Resource), Owner: owner}
+			for _, cs := range pr.Conditions {
+				p, err := pathexpr.Parse(cs)
+				if err != nil {
+					return nil, fmt.Errorf("core: rule %q condition %q: %w", pr.ID, cs, err)
+				}
+				rule.Conditions = append(rule.Conditions, Condition{Path: p})
+			}
+			if err := s.AddRule(rule); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// AudienceSetEvaluator is implemented by evaluators that can materialize
+// the full audience of one condition in a single traversal (see
+// search.Engine.AudienceSet); Store.Audience uses it when available instead
+// of issuing one reachability query per member.
+type AudienceSetEvaluator interface {
+	AudienceSet(owner graph.NodeID, p *pathexpr.Path) ([]graph.NodeID, error)
+}
+
+// Audience enumerates every member of g that eval grants access to res
+// under this store's rules, excluding the owner (who always has access).
+// Results are in node-ID order.
+func (s *Store) Audience(res ResourceID, g *graph.Graph, eval Evaluator) ([]graph.NodeID, error) {
+	owner, ok := s.Owner(res)
+	if !ok {
+		return nil, fmt.Errorf("core: resource %q not registered", res)
+	}
+	rules := s.RulesFor(res)
+	if fast, ok := eval.(AudienceSetEvaluator); ok {
+		return audienceFast(owner, rules, fast)
+	}
+	var out []graph.NodeID
+	var firstErr error
+	g.Nodes(func(n graph.Node) bool {
+		if n.ID == owner {
+			return true
+		}
+		for _, rule := range rules {
+			valid := true
+			for _, cond := range rule.Conditions {
+				ok, err := eval.Reachable(rule.Owner, n.ID, cond.Path)
+				if err != nil {
+					firstErr = err
+					return false
+				}
+				if !ok {
+					valid = false
+					break
+				}
+			}
+			if valid {
+				out = append(out, n.ID)
+				return true
+			}
+		}
+		return true
+	})
+	return out, firstErr
+}
+
+// audienceFast computes ∪_rules ∩_conditions AudienceSet(condition),
+// excluding the owner, in node-ID order — one traversal per condition
+// instead of one query per member.
+func audienceFast(owner graph.NodeID, rules []*Rule, eval AudienceSetEvaluator) ([]graph.NodeID, error) {
+	union := make(map[graph.NodeID]bool)
+	for _, rule := range rules {
+		var inter map[graph.NodeID]bool
+		for _, cond := range rule.Conditions {
+			set, err := eval.AudienceSet(rule.Owner, cond.Path)
+			if err != nil {
+				return nil, err
+			}
+			cur := make(map[graph.NodeID]bool, len(set))
+			for _, id := range set {
+				cur[id] = true
+			}
+			if inter == nil {
+				inter = cur
+				continue
+			}
+			for id := range inter {
+				if !cur[id] {
+					delete(inter, id)
+				}
+			}
+			if len(inter) == 0 {
+				break
+			}
+		}
+		for id := range inter {
+			if id != owner {
+				union[id] = true
+			}
+		}
+	}
+	out := make([]graph.NodeID, 0, len(union))
+	for id := range union {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package digraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasics(t *testing.T) {
+	d := New(3)
+	if d.N() != 3 || d.M() != 0 {
+		t.Fatalf("empty: N=%d M=%d", d.N(), d.M())
+	}
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 2)
+	if d.M() != 2 {
+		t.Fatalf("M = %d, want 2", d.M())
+	}
+	if got := d.Succ(0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Succ(0) = %v", got)
+	}
+}
+
+func TestAddEdgePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on out-of-range edge")
+		}
+	}()
+	New(2).AddEdge(0, 5)
+}
+
+func TestReverse(t *testing.T) {
+	d := New(4)
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 2)
+	d.AddEdge(0, 3)
+	r := d.Reverse()
+	if r.M() != 3 {
+		t.Fatalf("reverse M = %d", r.M())
+	}
+	if got := r.Succ(1); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("reverse Succ(1) = %v", got)
+	}
+	if got := r.Succ(3); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("reverse Succ(3) = %v", got)
+	}
+}
+
+func TestTopoOrderChain(t *testing.T) {
+	d := New(4)
+	d.AddEdge(3, 2)
+	d.AddEdge(2, 1)
+	d.AddEdge(1, 0)
+	order, err := d.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 2, 1, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("TopoOrder = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTopoOrderDetectsCycle(t *testing.T) {
+	d := New(3)
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 2)
+	d.AddEdge(2, 0)
+	if _, err := d.TopoOrder(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestTopoOrderIsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(30)
+		d := New(n)
+		// Random DAG: only edges u -> v with u < v.
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(4) == 0 {
+					d.AddEdge(u, v)
+				}
+			}
+		}
+		order, err := d.TopoOrder()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		pos := make([]int, n)
+		for i, v := range order {
+			pos[v] = i
+		}
+		for u := 0; u < n; u++ {
+			for _, v := range d.Succ(u) {
+				if pos[u] >= pos[int(v)] {
+					t.Fatalf("trial %d: edge (%d,%d) violates order", trial, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestReachable(t *testing.T) {
+	d := New(5)
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 2)
+	d.AddEdge(3, 4)
+	if !d.Reachable(0, 2) {
+		t.Fatal("0 !-> 2")
+	}
+	if !d.Reachable(0, 0) {
+		t.Fatal("0 !-> 0 (self)")
+	}
+	if d.Reachable(0, 4) {
+		t.Fatal("0 -> 4 across components")
+	}
+	if d.Reachable(2, 0) {
+		t.Fatal("reverse reachability")
+	}
+}
+
+func TestReachableSet(t *testing.T) {
+	d := New(4)
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 2)
+	set := d.ReachableSet(0)
+	want := []bool{true, true, true, false}
+	for i := range want {
+		if set[i] != want[i] {
+			t.Fatalf("ReachableSet = %v, want %v", set, want)
+		}
+	}
+}
+
+func TestReachableMatchesSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(25)
+		d := New(n)
+		for i := 0; i < n*2; i++ {
+			d.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		for src := 0; src < n; src++ {
+			set := d.ReachableSet(src)
+			for dst := 0; dst < n; dst++ {
+				if d.Reachable(src, dst) != set[dst] {
+					t.Fatalf("trial %d: Reachable(%d,%d) disagrees with set", trial, src, dst)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The on-disk format is line-delimited JSON: one header record, then one
+// record per node, then one record per live edge. It is stable, diffable,
+// and streams without loading the whole file.
+
+type ioHeader struct {
+	Magic string `json:"magic"`
+	Nodes int    `json:"nodes"`
+	Edges int    `json:"edges"`
+}
+
+type ioValue struct {
+	Kind string  `json:"k"`
+	Str  string  `json:"s,omitempty"`
+	Num  float64 `json:"n,omitempty"`
+	Bool bool    `json:"b,omitempty"`
+}
+
+type ioNode struct {
+	Name  string             `json:"name"`
+	Attrs map[string]ioValue `json:"attrs,omitempty"`
+}
+
+type ioEdge struct {
+	From   uint32  `json:"f"`
+	To     uint32  `json:"t"`
+	Label  string  `json:"l"`
+	Weight float64 `json:"w,omitempty"`
+}
+
+const ioMagic = "reachac-graph-v1"
+
+func encodeValue(v Value) ioValue {
+	switch v.Kind() {
+	case KindNumber:
+		return ioValue{Kind: "n", Num: v.Num()}
+	case KindBool:
+		return ioValue{Kind: "b", Bool: v.B()}
+	default:
+		return ioValue{Kind: "s", Str: v.Str()}
+	}
+}
+
+func decodeValue(v ioValue) (Value, error) {
+	switch v.Kind {
+	case "s":
+		return String(v.Str), nil
+	case "n":
+		return Number(v.Num), nil
+	case "b":
+		return Bool(v.Bool), nil
+	default:
+		return Value{}, fmt.Errorf("graph: unknown value kind %q", v.Kind)
+	}
+}
+
+// Write serializes g to w. Tombstoned edges are dropped.
+func (g *Graph) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(ioHeader{Magic: ioMagic, Nodes: g.NumNodes(), Edges: g.NumEdges()}); err != nil {
+		return err
+	}
+	for _, n := range g.nodes {
+		rec := ioNode{Name: n.Name}
+		if len(n.Attrs) > 0 {
+			rec.Attrs = make(map[string]ioValue, len(n.Attrs))
+			for k, v := range n.Attrs {
+				rec.Attrs[k] = encodeValue(v)
+			}
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	var err error
+	g.Edges(func(e Edge) bool {
+		err = enc.Encode(ioEdge{From: uint32(e.From), To: uint32(e.To), Label: g.LabelName(e.Label), Weight: e.Weight})
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a graph written by Write.
+func Read(r io.Reader) (*Graph, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var hdr ioHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	if hdr.Magic != ioMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", hdr.Magic)
+	}
+	g := New()
+	for i := 0; i < hdr.Nodes; i++ {
+		var rec ioNode
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("graph: reading node %d: %w", i, err)
+		}
+		var attrs Attrs
+		if len(rec.Attrs) > 0 {
+			attrs = make(Attrs, len(rec.Attrs))
+			for k, v := range rec.Attrs {
+				val, err := decodeValue(v)
+				if err != nil {
+					return nil, err
+				}
+				attrs[k] = val
+			}
+		}
+		if _, err := g.AddNode(rec.Name, attrs); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < hdr.Edges; i++ {
+		var rec ioEdge
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
+		}
+		if _, err := g.AddWeightedEdge(NodeID(rec.From), NodeID(rec.To), rec.Label, rec.Weight); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,54 @@
+package graph
+
+import "fmt"
+
+// Label identifies an interned relationship type (an element of the finite
+// alphabet Σ in Definition 1). Labels are dense small integers so that
+// per-label tables can be indexed by slice.
+type Label uint16
+
+// NoLabel is returned by lookups that fail.
+const NoLabel Label = ^Label(0)
+
+// labelTable interns relationship-type names.
+type labelTable struct {
+	names []string
+	ids   map[string]Label
+}
+
+func newLabelTable() *labelTable {
+	return &labelTable{ids: make(map[string]Label)}
+}
+
+func (t *labelTable) intern(name string) Label {
+	if id, ok := t.ids[name]; ok {
+		return id
+	}
+	id := Label(len(t.names))
+	t.names = append(t.names, name)
+	t.ids[name] = id
+	return id
+}
+
+func (t *labelTable) lookup(name string) (Label, bool) {
+	id, ok := t.ids[name]
+	return id, ok
+}
+
+func (t *labelTable) name(id Label) string {
+	if int(id) >= len(t.names) {
+		return fmt.Sprintf("label#%d", id)
+	}
+	return t.names[id]
+}
+
+func (t *labelTable) len() int { return len(t.names) }
+
+func (t *labelTable) clone() *labelTable {
+	c := newLabelTable()
+	c.names = append([]string(nil), t.names...)
+	for k, v := range t.ids {
+		c.ids[k] = v
+	}
+	return c
+}

@@ -1,0 +1,241 @@
+// Package interval implements the DAG reachability labeling of Agrawal,
+// Borgida and Jagadish (SIGMOD 1989), which the paper uses in §3.2: an
+// optimum tree cover is extracted from the DAG, each node receives its
+// postorder number, and each node carries a set of intervals such that
+//
+//	u ⇝ v   iff   post(v) ∈ intervals(u).
+//
+// The tree interval of a node is [lowest postorder in its subtree, its own
+// postorder]; intervals of non-tree descendants are propagated in reverse
+// topological order and compacted. The paper's Figure 5 ("reachability
+// table") is exactly this labeling computed on both the line DAG (G1) and
+// its reverse (G2).
+//
+// Tie-breaking note: the paper does not fix the traversal order or the tree
+// cover choice (and describes the parent choice loosely). We deterministically
+// pick, for each node, the incoming tree edge from the predecessor occurring
+// latest in topological order (a standard heuristic that deepens the cover
+// and shrinks interval sets), with the lowest vertex id breaking ties. The
+// correctness invariant — containment ⇔ reachability — is independent of
+// these choices and is what the tests verify.
+package interval
+
+import (
+	"fmt"
+	"sort"
+
+	"reachac/internal/digraph"
+)
+
+// Interval is an inclusive postorder range.
+type Interval struct {
+	Lo, Hi int
+}
+
+// Contains reports whether p lies in the interval.
+func (iv Interval) Contains(p int) bool { return iv.Lo <= p && p <= iv.Hi }
+
+func (iv Interval) String() string { return fmt.Sprintf("[%d,%d]", iv.Lo, iv.Hi) }
+
+// Labeling is the computed interval labeling of a DAG.
+type Labeling struct {
+	// Post is the 1-based postorder number of each vertex within the tree
+	// cover forest.
+	Post []int
+	// Sets holds each vertex's compacted, sorted interval set.
+	Sets [][]Interval
+	// Parent is the tree-cover parent of each vertex (-1 for roots).
+	Parent []int
+	// Approx reports that at least one interval set was truncated to a
+	// budget, making Reachable an over-approximation (never a false
+	// negative): Reachable==false still guarantees unreachability.
+	Approx bool
+}
+
+// Label computes the exact labeling. It fails if d is not a DAG. On wide
+// DAGs the exact interval sets can grow quadratically; use LabelBounded for
+// a memory-bounded over-approximation.
+func Label(d *digraph.D) (*Labeling, error) {
+	return LabelBounded(d, 0)
+}
+
+// LabelBounded is Label with a per-vertex interval budget: whenever a
+// vertex's compacted set exceeds budget intervals, the gaps between
+// consecutive intervals are collapsed smallest-first until the set fits.
+// Collapsing a gap only ADDS postorder values to the set, so the resulting
+// Reachable is an over-approximation of true reachability — exactly what a
+// pruning filter needs (false "maybe reachable" answers cost time, never
+// correctness). budget <= 0 means unbounded (exact).
+func LabelBounded(d *digraph.D, budget int) (*Labeling, error) {
+	n := d.N()
+	topo, err := d.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	topoPos := make([]int, n)
+	for i, v := range topo {
+		topoPos[v] = i
+	}
+
+	// Tree cover: choose each node's parent among its predecessors.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	rev := d.Reverse()
+	for v := 0; v < n; v++ {
+		best := -1
+		for _, p := range rev.Succ(v) {
+			pp := int(p)
+			if best == -1 {
+				best = pp
+				continue
+			}
+			// Prefer the predecessor latest in topo order; break ties by
+			// lowest id.
+			if topoPos[pp] > topoPos[best] || (topoPos[pp] == topoPos[best] && pp < best) {
+				best = pp
+			}
+		}
+		parent[v] = best
+	}
+
+	children := make([][]int, n)
+	var roots []int
+	for v := 0; v < n; v++ {
+		if parent[v] == -1 {
+			roots = append(roots, v)
+		} else {
+			children[parent[v]] = append(children[parent[v]], v)
+		}
+	}
+	for v := range children {
+		sort.Ints(children[v])
+	}
+	sort.Ints(roots)
+
+	// Iterative postorder numbering; lo[v] is the smallest postorder in v's
+	// subtree.
+	post := make([]int, n)
+	lo := make([]int, n)
+	counter := 0
+	type frame struct {
+		v  int
+		ci int
+	}
+	var stack []frame
+	for _, r := range roots {
+		stack = append(stack[:0], frame{v: r})
+		lo[r] = counter + 1
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.ci < len(children[f.v]) {
+				c := children[f.v][f.ci]
+				f.ci++
+				lo[c] = counter + 1
+				stack = append(stack, frame{v: c})
+				continue
+			}
+			counter++
+			post[f.v] = counter
+			stack = stack[:len(stack)-1]
+		}
+	}
+
+	// Interval propagation in reverse topological order.
+	sets := make([][]Interval, n)
+	approx := false
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		set := []Interval{{lo[v], post[v]}}
+		for _, u := range d.Succ(v) {
+			set = append(set, sets[u]...)
+		}
+		set = compact(set)
+		if budget > 0 && len(set) > budget {
+			set = bound(set, budget)
+			approx = true
+		}
+		sets[v] = set
+	}
+	return &Labeling{Post: post, Sets: sets, Parent: parent, Approx: approx}, nil
+}
+
+// bound collapses the smallest gaps of a sorted, compacted interval set
+// until at most budget intervals remain. The budget-1 largest gaps (ties:
+// earlier position wins) are kept as separators.
+func bound(set []Interval, budget int) []Interval {
+	if budget < 1 {
+		budget = 1
+	}
+	type gap struct {
+		pos, size int
+	}
+	gaps := make([]gap, 0, len(set)-1)
+	for i := 1; i < len(set); i++ {
+		gaps = append(gaps, gap{pos: i, size: set[i].Lo - set[i-1].Hi})
+	}
+	sort.Slice(gaps, func(a, b int) bool {
+		if gaps[a].size != gaps[b].size {
+			return gaps[a].size > gaps[b].size
+		}
+		return gaps[a].pos < gaps[b].pos
+	})
+	keep := make(map[int]bool, budget-1)
+	for i := 0; i < budget-1 && i < len(gaps); i++ {
+		keep[gaps[i].pos] = true
+	}
+	out := set[:1]
+	for i := 1; i < len(set); i++ {
+		if keep[i] {
+			out = append(out, set[i])
+			continue
+		}
+		out[len(out)-1].Hi = set[i].Hi
+	}
+	return out
+}
+
+// compact sorts and merges overlapping or adjacent intervals.
+func compact(set []Interval) []Interval {
+	if len(set) <= 1 {
+		return set
+	}
+	sort.Slice(set, func(i, j int) bool {
+		if set[i].Lo != set[j].Lo {
+			return set[i].Lo < set[j].Lo
+		}
+		return set[i].Hi > set[j].Hi
+	})
+	out := set[:1]
+	for _, iv := range set[1:] {
+		last := &out[len(out)-1]
+		if iv.Lo <= last.Hi+1 {
+			if iv.Hi > last.Hi {
+				last.Hi = iv.Hi
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// Reachable reports u ⇝ v by testing post(v) against u's interval set in
+// O(log |set|).
+func (l *Labeling) Reachable(u, v int) bool {
+	p := l.Post[v]
+	set := l.Sets[u]
+	i := sort.Search(len(set), func(i int) bool { return set[i].Hi >= p })
+	return i < len(set) && set[i].Contains(p)
+}
+
+// Size returns the total number of intervals stored, the labeling's space
+// metric.
+func (l *Labeling) Size() int {
+	n := 0
+	for _, s := range l.Sets {
+		n += len(s)
+	}
+	return n
+}

@@ -1,0 +1,277 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"reachac/internal/digraph"
+	"reachac/internal/graph"
+	"reachac/internal/linegraph"
+	"reachac/internal/paperfix"
+	"reachac/internal/scc"
+)
+
+func randomDAG(rng *rand.Rand, n int, density int) *digraph.D {
+	d := digraph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Intn(density) == 0 {
+				d.AddEdge(u, v)
+			}
+		}
+	}
+	return d
+}
+
+func checkAgainstBFS(t *testing.T, d *digraph.D, l *Labeling) {
+	t.Helper()
+	for u := 0; u < d.N(); u++ {
+		set := d.ReachableSet(u)
+		for v := 0; v < d.N(); v++ {
+			if got := l.Reachable(u, v); got != set[v] {
+				t.Fatalf("Reachable(%d,%d) = %v, BFS says %v", u, v, got, set[v])
+			}
+		}
+	}
+}
+
+func TestChain(t *testing.T) {
+	d := digraph.New(5)
+	for i := 0; i < 4; i++ {
+		d.AddEdge(i, i+1)
+	}
+	l, err := Label(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstBFS(t, d, l)
+	// A chain needs exactly one interval per node.
+	if l.Size() != 5 {
+		t.Fatalf("chain labeling size = %d, want 5", l.Size())
+	}
+}
+
+func TestDiamond(t *testing.T) {
+	// 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3.
+	d := digraph.New(4)
+	d.AddEdge(0, 1)
+	d.AddEdge(0, 2)
+	d.AddEdge(1, 3)
+	d.AddEdge(2, 3)
+	l, err := Label(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstBFS(t, d, l)
+}
+
+func TestForest(t *testing.T) {
+	// Two disjoint trees.
+	d := digraph.New(6)
+	d.AddEdge(0, 1)
+	d.AddEdge(0, 2)
+	d.AddEdge(3, 4)
+	d.AddEdge(3, 5)
+	l, err := Label(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstBFS(t, d, l)
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	l, err := Label(digraph.New(0))
+	if err != nil || l.Size() != 0 {
+		t.Fatalf("empty: %v %d", err, l.Size())
+	}
+	l, err = Label(digraph.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Reachable(0, 0) {
+		t.Fatal("self not reachable")
+	}
+}
+
+func TestCycleRejected(t *testing.T) {
+	d := digraph.New(2)
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 0)
+	if _, err := Label(d); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
+
+func TestPostorderIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := randomDAG(rng, 30, 3)
+	l, err := Label(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, d.N()+1)
+	for _, p := range l.Post {
+		if p < 1 || p > d.N() || seen[p] {
+			t.Fatalf("postorder %v not a permutation of 1..%d", l.Post, d.N())
+		}
+		seen[p] = true
+	}
+}
+
+func TestIntervalSetsSortedAndDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := randomDAG(rng, 40, 4)
+	l, err := Label(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, set := range l.Sets {
+		for i, iv := range set {
+			if iv.Lo > iv.Hi {
+				t.Fatalf("vertex %d interval %v inverted", v, iv)
+			}
+			// Non-adjacent (fully compacted) and sorted.
+			if i > 0 && set[i-1].Hi+1 >= iv.Lo {
+				t.Fatalf("vertex %d set not compacted: %v", v, set)
+			}
+		}
+	}
+}
+
+func TestRandomDAGsMatchBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(35)
+		d := randomDAG(rng, n, 1+rng.Intn(5))
+		l, err := Label(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstBFS(t, d, l)
+	}
+}
+
+func TestQuickRandomDAGs(t *testing.T) {
+	// Property: for arbitrary seed and size, the labeling agrees with BFS.
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(sz)%25
+		d := randomDAG(rng, n, 2)
+		l, err := Label(d)
+		if err != nil {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			set := d.ReachableSet(u)
+			for v := 0; v < n; v++ {
+				if l.Reachable(u, v) != set[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelBoundedOverApproximates(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(40)
+		d := randomDAG(rng, n, 1+rng.Intn(3))
+		for _, budget := range []int{1, 2, 3, 8} {
+			l, err := LabelBounded(d, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v, set := range l.Sets {
+				if len(set) > budget {
+					t.Fatalf("vertex %d has %d intervals, budget %d", v, len(set), budget)
+				}
+			}
+			// Over-approximation: never a false negative.
+			for u := 0; u < n; u++ {
+				reach := d.ReachableSet(u)
+				for v := 0; v < n; v++ {
+					if reach[v] && !l.Reachable(u, v) {
+						t.Fatalf("budget %d: false negative (%d,%d)", budget, u, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLabelBoundedExactWhenUnderBudget(t *testing.T) {
+	d := digraph.New(5)
+	for i := 0; i < 4; i++ {
+		d.AddEdge(i, i+1)
+	}
+	l, err := LabelBounded(d, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Approx {
+		t.Fatal("chain labeling marked approximate")
+	}
+	checkAgainstBFS(t, d, l)
+}
+
+func TestLabelBoundedMarksApprox(t *testing.T) {
+	// A wide fan-in/out DAG that forces more than one interval per vertex:
+	// v0 -> {odd leaves} skipping evens gives fragmented postorders.
+	d := digraph.New(12)
+	for i := 1; i < 12; i += 2 {
+		d.AddEdge(0, i)
+	}
+	l, err := LabelBounded(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Sets[0]) != 1 {
+		t.Fatalf("budget 1 not enforced: %v", l.Sets[0])
+	}
+	// With budget 1 the root's interval covers everything it reaches (and
+	// possibly more) — over-approximation only.
+	for v := 1; v < 12; v += 2 {
+		if !l.Reachable(0, v) {
+			t.Fatalf("false negative to %d", v)
+		}
+	}
+}
+
+func TestPaperLineDAGBothDirections(t *testing.T) {
+	// Figure 5 computes the labeling on the condensed line graph G1 and on
+	// its reverse G2. Verify both labelings are semantically correct.
+	g := paperfix.Graph()
+	alice, _ := g.NodeByName(paperfix.Alice)
+	l := linegraph.Build(g, linegraph.Opts{VirtualRoots: []graph.NodeID{alice}})
+	r := scc.Tarjan(l.D)
+	dag := scc.Condense(l.D, r)
+	g1, err := Label(dag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstBFS(t, dag, g1)
+	g2, err := Label(dag.Reverse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstBFS(t, dag.Reverse(), g2)
+	// G2 is the inverse relation of G1.
+	for u := 0; u < dag.N(); u++ {
+		for v := 0; v < dag.N(); v++ {
+			if g1.Reachable(u, v) != g2.Reachable(v, u) {
+				t.Fatalf("G1/G2 asymmetry at (%d,%d)", u, v)
+			}
+		}
+	}
+	// The paper's fixture has 13 line nodes and no cycles among distinct
+	// components other than Bill<->Elena friendship loops.
+	if dag.N() > l.D.N() {
+		t.Fatal("condensation grew")
+	}
+}

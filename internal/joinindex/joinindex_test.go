@@ -1,0 +1,499 @@
+package joinindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"reachac/internal/graph"
+	"reachac/internal/linegraph"
+	"reachac/internal/paperfix"
+	"reachac/internal/pathexpr"
+	"reachac/internal/search"
+)
+
+func buildPaper(t *testing.T, opts Options) *Index {
+	t.Helper()
+	idx, err := Build(paperfix.Graph(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func node(t *testing.T, g *graph.Graph, name string) graph.NodeID {
+	t.Helper()
+	id, ok := g.NodeByName(name)
+	if !ok {
+		t.Fatalf("node %q missing", name)
+	}
+	return id
+}
+
+func TestBuildPaperIndex(t *testing.T) {
+	idx := buildPaper(t, Options{GreedyCover: true})
+	s := idx.Stats()
+	if s.LineNodes != 12 { // one forward line node per Figure-1 edge
+		t.Fatalf("line nodes = %d, want 12", s.LineNodes)
+	}
+	if s.SCCs <= 0 || s.SCCs > 12 {
+		t.Fatalf("SCCs = %d", s.SCCs)
+	}
+	if s.Centers == 0 || s.CoverSize == 0 || s.IntervalCount == 0 {
+		t.Fatalf("degenerate stats: %+v", s)
+	}
+	if s.BaseTables != 3 { // one per relationship type
+		t.Fatalf("base tables = %d, want 3", s.BaseTables)
+	}
+	if idx.Tree().Len() != len(idx.Clusters()) {
+		t.Fatalf("B+tree has %d centers, clusters %d", idx.Tree().Len(), len(idx.Clusters()))
+	}
+	if s.IndexBytes() <= 0 {
+		t.Fatal("IndexBytes not positive")
+	}
+}
+
+func TestBaseTableSizes(t *testing.T) {
+	idx := buildPaper(t, Options{})
+	if n := idx.BaseTable(paperfix.Friend).Len(); n != 8 {
+		t.Fatalf("T_friend = %d rows, want 8", n)
+	}
+	if n := idx.BaseTable(paperfix.Colleague).Len(); n != 2 {
+		t.Fatalf("T_colleague = %d rows, want 2", n)
+	}
+	if n := idx.BaseTable(paperfix.Parent).Len(); n != 2 {
+		t.Fatalf("T_parent = %d rows, want 2", n)
+	}
+	if idx.BaseTable("enemy") != nil {
+		t.Fatal("phantom base table")
+	}
+}
+
+// TestWTableCoversAllJoinAnswers verifies the Figure-6 invariant: every pair
+// produced by a full reachability join between two base tables is witnessed
+// by a center listed in the W-table entry for that label pair.
+func TestWTableCoversAllJoinAnswers(t *testing.T) {
+	idx := buildPaper(t, Options{GreedyCover: true})
+	labels := []string{paperfix.Friend, paperfix.Colleague, paperfix.Parent}
+	for _, a := range labels {
+		for _, b := range labels {
+			ta := idx.BaseTable(a)
+			tb := idx.BaseTable(b)
+			centers := idx.WEntry(a, b)
+			inW := make(map[int32]bool)
+			for _, w := range centers {
+				inW[w] = true
+			}
+			for _, x := range ta.Rows {
+				for _, y := range tb.Rows {
+					// Does x reach y at all?
+					if !idx.lineReach(x.ID, y.ID) {
+						continue
+					}
+					// Then some W-table center must witness it.
+					witnessed := false
+					for _, w := range x.Out {
+						if inW[w] {
+							for _, v := range idx.Clusters()[w].V {
+								if v == y.ID {
+									witnessed = true
+									break
+								}
+							}
+						}
+						if witnessed {
+							break
+						}
+					}
+					if !witnessed {
+						t.Fatalf("pair (%s, %s) reachable but not witnessed via W(%s,%s)",
+							idx.Line().NodeString(int(x.ID)), idx.Line().NodeString(int(y.ID)), a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPaperJoinFriendColleague reproduces the §3.3 worked join: the answer
+// of T_friend ⋈ T_colleague restricted to pairs that also survive adjacency
+// includes ⟨friend A-C, … ⟩ chains leading to colleague D-F; the plain
+// reachability join must contain the pair ⟨friend A-C, colleague D-F⟩.
+func TestPaperJoinFriendColleague(t *testing.T) {
+	idx := buildPaper(t, Options{GreedyCover: true, Strategy: EvalPaperJoin})
+	g := idx.g
+	l := idx.Line()
+	lq := &linegraph.LineQuery{
+		Steps: []linegraph.LineStep{
+			{Label: paperfix.Friend, Dir: pathexpr.Out, OrigStep: 0, EndOfStep: true},
+			{Label: paperfix.Colleague, Dir: pathexpr.Out, OrigStep: 1, EndOfStep: true},
+		},
+		Src: pathexpr.MustParse("friend+[1]/colleague+[1]"),
+	}
+	ts, err := idx.PaperJoinTuples(lq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tup := range ts.Tuples {
+		if l.NodeString(int(tup[0])) == "friend Alice-Colin" && l.NodeString(int(tup[1])) == "colleague David-Fred" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("pair ⟨friendA-C, colleagueD-F⟩ missing from reachability join")
+	}
+	// After post-processing with Alice as owner and Fred as requester the
+	// surviving tuple must be an adjacent path: friend Colin? No —
+	// friendA-C is not adjacent to colleagueD-F (C ≠ D), so that pair dies,
+	// but ⟨friend Colin-David, colleague David-Fred⟩ with owner Colin
+	// survives. For owner Alice, the length-2 pattern has no match.
+	alice := node(t, g, paperfix.Alice)
+	fred := node(t, g, paperfix.Fred)
+	if got := idx.PostProcess(alice, fred, lq, ts); len(got) != 0 {
+		t.Fatalf("Alice->Fred friend/colleague post-process kept %v", got)
+	}
+	colin := node(t, g, paperfix.Colin)
+	kept := idx.PostProcess(colin, fred, lq, ts)
+	if len(kept) != 1 {
+		t.Fatalf("Colin->Fred post-process kept %d tuples", len(kept))
+	}
+	if l.NodeString(int(kept[0][0])) != "friend Colin-David" || l.NodeString(int(kept[0][1])) != "colleague David-Fred" {
+		t.Fatalf("surviving tuple = [%s, %s]", l.NodeString(int(kept[0][0])), l.NodeString(int(kept[0][1])))
+	}
+}
+
+// TestPaperPathFriendParentFriend reproduces the §3.3–3.4 worked example:
+// (T_friend ⋈ T_parent) ⋈ T_friend contains the tuple ⟨friend A-C,
+// parent C-F, friend F-G⟩, which survives post-processing for owner Alice
+// and requester George (the path Alice -> Colin -> Fred -> George).
+func TestPaperPathFriendParentFriend(t *testing.T) {
+	idx := buildPaper(t, Options{GreedyCover: true, Strategy: EvalPaperJoin})
+	g := idx.g
+	l := idx.Line()
+	lqs, err := linegraph.ExpandQuery(paperfix.QFriendParentFriend(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lqs) != 1 {
+		t.Fatalf("expansions = %d", len(lqs))
+	}
+	ts, err := idx.PaperJoinTuples(&lqs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's final table includes (friendAC, parentCF, friendFG).
+	want := [3]string{"friend Alice-Colin", "parent Colin-Fred", "friend Fred-George"}
+	found := false
+	for _, tup := range ts.Tuples {
+		got := [3]string{l.NodeString(int(tup[0])), l.NodeString(int(tup[1])), l.NodeString(int(tup[2]))}
+		if got == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("paper tuple %v missing from join result (%d tuples)", want, ts.Len())
+	}
+	alice := node(t, g, paperfix.Alice)
+	george := node(t, g, paperfix.George)
+	kept := idx.PostProcess(alice, george, &lqs[0], ts)
+	if len(kept) != 1 {
+		t.Fatalf("post-process kept %d tuples, want 1", len(kept))
+	}
+	got := [3]string{
+		l.NodeString(int(kept[0][0])),
+		l.NodeString(int(kept[0][1])),
+		l.NodeString(int(kept[0][2])),
+	}
+	if got != want {
+		t.Fatalf("surviving tuple = %v, want %v", got, want)
+	}
+	// And the boolean decision grants George access.
+	ok, err := idx.Reachable(alice, george, paperfix.QFriendParentFriend())
+	if err != nil || !ok {
+		t.Fatalf("Reachable = %v, %v", ok, err)
+	}
+}
+
+func TestQ1AllStrategies(t *testing.T) {
+	g := paperfix.Graph()
+	for _, strat := range []Strategy{EvalAnchored, EvalPaperJoin} {
+		idx, err := Build(g, Options{Strategy: strat, GreedyCover: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		alice := node(t, g, paperfix.Alice)
+		for _, name := range paperfix.Names[1:] {
+			want := false
+			for _, w := range paperfix.Q1Grantees {
+				if w == name {
+					want = true
+				}
+			}
+			got, err := idx.Reachable(alice, node(t, g, name), paperfix.Q1())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("strategy %d: Q1 grant for %s = %v, want %v", strat, name, got, want)
+			}
+		}
+	}
+}
+
+func agreementQueries() []string {
+	return []string{
+		"friend+[1,2]/colleague+[1]",
+		"friend+[1]/parent+[1]/friend+[1]",
+		"friend-[1]",
+		"friend*[1,2]",
+		"friend+[3]",
+		"friend+[1,4]",
+		"colleague-[1]/friend-[1]",
+		"parent+[1]/friend-[1]",
+		"friend+[2]/parent+[1]",
+		"friend+[1,*]",
+	}
+}
+
+func TestEngineAgreementOnPaperGraph(t *testing.T) {
+	g := paperfix.Graph()
+	oracle := search.New(g)
+	for _, strat := range []Strategy{EvalAnchored, EvalPaperJoin} {
+		for _, disableW := range []bool{false, true} {
+			for _, disableLA := range []bool{false, true} {
+				idx, err := Build(g, Options{
+					Strategy:         strat,
+					GreedyCover:      true,
+					DisableWTable:    disableW,
+					DisableLookahead: disableLA,
+					MaxUnbounded:     5,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, q := range agreementQueries() {
+					p := pathexpr.MustParse(q)
+					// The index's unbounded horizon must match the oracle's
+					// semantics; skip unbounded queries whose matches could
+					// exceed the horizon (none here: graph diameter < 5).
+					for _, o := range paperfix.Names {
+						for _, r := range paperfix.Names {
+							oid, rid := node(t, g, o), node(t, g, r)
+							want, err := oracle.Reachable(oid, rid, p)
+							if err != nil {
+								t.Fatal(err)
+							}
+							got, err := idx.Reachable(oid, rid, p)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if got != want {
+								t.Fatalf("strat=%d W=%v LA=%v: (%s,%s,%s) index=%v oracle=%v",
+									strat, !disableW, !disableLA, o, r, q, got, want)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func randomSocialGraph(rng *rand.Rand, n, m int) *graph.Graph {
+	g := graph.New()
+	labels := []string{"friend", "colleague", "parent"}
+	for i := 0; i < n; i++ {
+		var attrs graph.Attrs
+		if rng.Intn(2) == 0 {
+			attrs = graph.Attrs{"age": graph.Int(10 + rng.Intn(60))}
+		}
+		g.MustAddNode(nameOf(i), attrs)
+	}
+	for i := 0; i < m; i++ {
+		u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		if u != v {
+			_, _ = g.AddEdge(u, v, labels[rng.Intn(len(labels))])
+		}
+	}
+	return g
+}
+
+func nameOf(i int) string {
+	return "u" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+func TestEngineAgreementRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	queries := []string{
+		"friend+[1,2]",
+		"friend+[1]/colleague+[1]",
+		"friend-[1,2]/parent+[1]",
+		"friend*[1,2]",
+		"colleague+[1]/friend*[1,2]",
+		"friend+[1,2]{age>=18}",
+		"parent+[2]",
+	}
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(12)
+		g := randomSocialGraph(rng, n, n*3)
+		oracle := search.New(g)
+		for _, strat := range []Strategy{EvalAnchored, EvalPaperJoin} {
+			idx, err := Build(g, Options{Strategy: strat, GreedyCover: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range queries {
+				p := pathexpr.MustParse(q)
+				for o := 0; o < n; o++ {
+					for r := 0; r < n; r++ {
+						oid, rid := graph.NodeID(o), graph.NodeID(r)
+						want, err := oracle.Reachable(oid, rid, p)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, err := idx.Reachable(oid, rid, p)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got != want {
+							t.Fatalf("trial %d strat %d: (%d,%d,%s) index=%v oracle=%v",
+								trial, strat, o, r, q, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPrunedCoverAgreement(t *testing.T) {
+	// Same agreement check with the scalable pruned cover instead of greedy.
+	rng := rand.New(rand.NewSource(321))
+	g := randomSocialGraph(rng, 15, 45)
+	oracle := search.New(g)
+	idx, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range agreementQueries() {
+		p := pathexpr.MustParse(q)
+		for o := 0; o < 15; o++ {
+			for r := 0; r < 15; r++ {
+				oid, rid := graph.NodeID(o), graph.NodeID(r)
+				want, _ := oracle.Reachable(oid, rid, p)
+				got, err := idx.Reachable(oid, rid, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("(%d,%d,%s) index=%v oracle=%v", o, r, q, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	idx := buildPaper(t, Options{})
+	if _, err := idx.Reachable(999, 0, paperfix.Q1()); err == nil {
+		t.Fatal("invalid owner accepted")
+	}
+	if _, err := idx.Reachable(0, 1, &pathexpr.Path{}); err == nil {
+		t.Fatal("invalid path accepted")
+	}
+	// The anchored strategy handles wide depth intervals without expansion.
+	if _, err := idx.Reachable(0, 1, pathexpr.MustParse("friend+[1,100]/colleague+[1,100]")); err != nil {
+		t.Fatalf("anchored strategy rejected wide intervals: %v", err)
+	}
+	// The paper-join strategy expands and must refuse oversized products.
+	pj := buildPaper(t, Options{Strategy: EvalPaperJoin})
+	if _, err := pj.Reachable(0, 1, pathexpr.MustParse("friend+[1,100]/colleague+[1,100]")); err == nil {
+		t.Fatal("oversized expansion accepted")
+	}
+}
+
+func TestUnknownLabelDenies(t *testing.T) {
+	idx := buildPaper(t, Options{})
+	ok, err := idx.Reachable(0, 1, pathexpr.MustParse("enemy+[1]"))
+	if err != nil || ok {
+		t.Fatalf("unknown label: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestMaxTuplesCap(t *testing.T) {
+	// A dense single-label graph with paper join and a tiny cap must error.
+	rng := rand.New(rand.NewSource(5))
+	g := randomSocialGraph(rng, 12, 60)
+	idx, err := Build(g, Options{Strategy: EvalPaperJoin, MaxTuples: 2, DisableWTable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = idx.Reachable(0, 1, pathexpr.MustParse("friend+[1]/friend+[1]"))
+	if err == nil {
+		t.Fatal("tuple cap not enforced")
+	}
+}
+
+func TestWEntryPaperShape(t *testing.T) {
+	// On the fixture, W(friend,colleague) must be non-empty (the join has
+	// answers) and every listed center must actually connect the tables.
+	idx := buildPaper(t, Options{GreedyCover: true})
+	centers := idx.WEntry(paperfix.Friend, paperfix.Colleague)
+	if len(centers) == 0 {
+		t.Fatal("W(friend,colleague) empty")
+	}
+	for _, w := range centers {
+		cl := idx.Clusters()[w]
+		hasFriendU, hasColleagueV := false, false
+		for _, u := range cl.U {
+			if idx.g.LabelName(idx.Line().Nodes[u].Label) == paperfix.Friend {
+				hasFriendU = true
+			}
+		}
+		for _, v := range cl.V {
+			if idx.g.LabelName(idx.Line().Nodes[v].Label) == paperfix.Colleague {
+				hasColleagueV = true
+			}
+		}
+		if !hasFriendU || !hasColleagueV {
+			t.Fatalf("center %d listed in W(friend,colleague) but clusters lack the labels", w)
+		}
+	}
+	if idx.WEntry("enemy", paperfix.Friend) != nil {
+		t.Fatal("W entry for unknown label")
+	}
+}
+
+func TestStaleIndexRefused(t *testing.T) {
+	g := paperfix.Graph()
+	idx, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, _ := g.NodeByName(paperfix.Alice)
+	bill, _ := g.NodeByName(paperfix.Bill)
+	if _, err := idx.Reachable(alice, bill, paperfix.Q1()); err != nil {
+		t.Fatalf("fresh index: %v", err)
+	}
+	// Mutate the graph: the index must refuse to answer.
+	g.MustAddEdge(bill, alice, "colleague")
+	if _, err := idx.Reachable(alice, bill, paperfix.Q1()); err != ErrStale {
+		t.Fatalf("stale index answered (err=%v)", err)
+	}
+	// A rebuild accepts again.
+	idx2, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx2.Reachable(alice, bill, paperfix.Q1()); err != nil {
+		t.Fatalf("rebuilt index: %v", err)
+	}
+	// Removal also invalidates.
+	l, _ := g.LookupLabel("colleague")
+	if err := g.RemoveEdge(g.FindEdge(bill, alice, l)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx2.Reachable(alice, bill, paperfix.Q1()); err != ErrStale {
+		t.Fatalf("index stale after removal answered (err=%v)", err)
+	}
+}

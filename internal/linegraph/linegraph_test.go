@@ -1,0 +1,290 @@
+package linegraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"reachac/internal/graph"
+	"reachac/internal/paperfix"
+	"reachac/internal/pathexpr"
+)
+
+func TestFigure3LineGraphForwardOnly(t *testing.T) {
+	g := paperfix.Graph()
+	l := Build(g, Opts{})
+	// Figure 3 has one line node per edge of Figure 1: 12 (the figure-5
+	// table adds a 13th virtual Null-A node, tested separately).
+	if l.NumNodes() != 12 {
+		t.Fatalf("line nodes = %d, want 12", l.NumNodes())
+	}
+	// Spot-check paper adjacencies: FriendA-C -> FriendC-D (head C = tail C),
+	// FriendC-D -> ColleagueD-F, ColleagueD-F -> FriendF-G.
+	idx := func(name string) int {
+		for i := range l.Nodes {
+			if l.NodeString(i) == name {
+				return i
+			}
+		}
+		t.Fatalf("line node %q missing", name)
+		return -1
+	}
+	adj := func(a, b string) bool {
+		ia, ib := idx(a), idx(b)
+		for _, s := range l.D.Succ(ia) {
+			if int(s) == ib {
+				return true
+			}
+		}
+		return false
+	}
+	wantAdj := [][2]string{
+		{"friend Alice-Colin", "friend Colin-David"},
+		{"friend Alice-Colin", "parent Colin-Fred"},
+		{"friend Colin-David", "colleague David-Fred"},
+		{"colleague David-Fred", "friend Fred-George"},
+		{"friend Alice-Bill", "friend Bill-Elena"},
+		{"friend Bill-Elena", "friend Elena-Bill"},
+		{"friend Elena-Bill", "friend Bill-Elena"},
+		{"parent Colin-Fred", "friend Fred-George"},
+	}
+	for _, w := range wantAdj {
+		if !adj(w[0], w[1]) {
+			t.Errorf("missing line edge %s -> %s", w[0], w[1])
+		}
+	}
+	wantAbsent := [][2]string{
+		{"friend Colin-David", "friend Alice-Colin"}, // reverse of a real adjacency
+		{"friend Alice-Colin", "colleague David-Fred"},
+		{"friend Fred-George", "parent David-George"},
+	}
+	for _, w := range wantAbsent {
+		if adj(w[0], w[1]) {
+			t.Errorf("phantom line edge %s -> %s", w[0], w[1])
+		}
+	}
+}
+
+func TestLineAdjacencyInvariant(t *testing.T) {
+	// x -> y in L(G) iff Head(x) == Tail(y), on random graphs, both modes.
+	rng := rand.New(rand.NewSource(17))
+	labels := []string{"a", "b", "c"}
+	for trial := 0; trial < 15; trial++ {
+		g := graph.New()
+		n := 2 + rng.Intn(15)
+		for i := 0; i < n; i++ {
+			g.MustAddNode(nodeName(i), nil)
+		}
+		for i := 0; i < n*2; i++ {
+			u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			if u != v {
+				_, _ = g.AddEdge(u, v, labels[rng.Intn(len(labels))])
+			}
+		}
+		for _, rev := range []bool{false, true} {
+			l := Build(g, Opts{IncludeReverse: rev})
+			// Build the adjacency set actually present.
+			present := make(map[[2]int]bool)
+			for u := 0; u < l.D.N(); u++ {
+				for _, v := range l.D.Succ(u) {
+					present[[2]int{u, int(v)}] = true
+				}
+			}
+			for i := range l.Nodes {
+				for j := range l.Nodes {
+					if l.Nodes[j].Virtual {
+						continue
+					}
+					want := l.Nodes[i].Head == l.Nodes[j].Tail
+					if present[[2]int{i, j}] != want {
+						t.Fatalf("trial %d rev=%v: adjacency (%s -> %s) = %v, want %v",
+							trial, rev, l.NodeString(i), l.NodeString(j), present[[2]int{i, j}], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func nodeName(i int) string {
+	return "u" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+func TestVirtualRootNullA(t *testing.T) {
+	g := paperfix.Graph()
+	alice, _ := g.NodeByName(paperfix.Alice)
+	l := Build(g, Opts{VirtualRoots: []graph.NodeID{alice}})
+	if l.NumNodes() != 13 {
+		t.Fatalf("line nodes with Null A = %d, want 13", l.NumNodes())
+	}
+	root := l.Root(alice)
+	if root < 0 {
+		t.Fatal("Root(Alice) missing")
+	}
+	if got := l.NodeString(int(root)); got != "Null Alice" {
+		t.Fatalf("root name = %q", got)
+	}
+	// Null A must point at exactly Alice's outgoing traversals: friend A-C,
+	// colleague A-D, friend A-B.
+	succ := l.D.Succ(int(root))
+	if len(succ) != 3 {
+		t.Fatalf("Null A out-degree = %d, want 3", len(succ))
+	}
+	for _, s := range succ {
+		if l.Nodes[s].Tail != alice {
+			t.Fatalf("Null A points at %s", l.NodeString(int(s)))
+		}
+	}
+	if l.Root(graph.NodeID(1)) != -1 {
+		t.Fatal("Root of non-root member not -1")
+	}
+}
+
+func TestIncludeReverseDoubles(t *testing.T) {
+	g := paperfix.Graph()
+	l := Build(g, Opts{IncludeReverse: true})
+	if l.NumNodes() != 24 {
+		t.Fatalf("doubled line nodes = %d, want 24", l.NumNodes())
+	}
+	g.Edges(func(e graph.Edge) bool {
+		f, b := l.Forward(e.ID), l.Backward(e.ID)
+		if f < 0 || b < 0 {
+			t.Fatalf("edge %v missing orientation nodes", e)
+		}
+		if l.Nodes[f].Tail != e.From || l.Nodes[f].Head != e.To {
+			t.Fatalf("forward node wrong: %+v", l.Nodes[f])
+		}
+		if l.Nodes[b].Tail != e.To || l.Nodes[b].Head != e.From {
+			t.Fatalf("backward node wrong: %+v", l.Nodes[b])
+		}
+		return true
+	})
+}
+
+func TestByLabelDir(t *testing.T) {
+	g := paperfix.Graph()
+	l := Build(g, Opts{IncludeReverse: true})
+	friend, _ := g.LookupLabel(paperfix.Friend)
+	colleague, _ := g.LookupLabel(paperfix.Colleague)
+	parent, _ := g.LookupLabel(paperfix.Parent)
+	if n := len(l.ByLabelDir(friend, true)); n != 8 {
+		t.Fatalf("friend base table size = %d, want 8", n)
+	}
+	if n := len(l.ByLabelDir(friend, false)); n != 8 {
+		t.Fatalf("friend reverse base table size = %d, want 8", n)
+	}
+	if n := len(l.ByLabelDir(colleague, true)); n != 2 {
+		t.Fatalf("colleague base table size = %d, want 2", n)
+	}
+	if n := len(l.ByLabelDir(parent, true)); n != 2 {
+		t.Fatalf("parent base table size = %d, want 2", n)
+	}
+}
+
+func TestByTail(t *testing.T) {
+	g := paperfix.Graph()
+	l := Build(g, Opts{})
+	alice, _ := g.NodeByName(paperfix.Alice)
+	george, _ := g.NodeByName(paperfix.George)
+	if n := len(l.ByTail(alice)); n != 3 {
+		t.Fatalf("ByTail(Alice) = %d, want 3", n)
+	}
+	if n := len(l.ByTail(george)); n != 0 {
+		t.Fatalf("ByTail(George) = %d, want 0", n)
+	}
+}
+
+func TestSortedNodeStrings(t *testing.T) {
+	g := paperfix.Graph()
+	l := Build(g, Opts{})
+	names := l.SortedNodeStrings()
+	if len(names) != 12 {
+		t.Fatalf("names = %d", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("unsorted at %d: %v", i, names)
+		}
+	}
+}
+
+func TestExpandQueryQ1(t *testing.T) {
+	// Figure 4: Q1 expands into two line queries.
+	qs, err := ExpandQuery(paperfix.Q1(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 {
+		t.Fatalf("expansions = %d, want 2", len(qs))
+	}
+	if got := qs[0].String(); got != "friend+.colleague+" {
+		t.Fatalf("first line query = %q", got)
+	}
+	if got := qs[1].String(); got != "friend+.friend+.colleague+" {
+		t.Fatalf("second line query = %q", got)
+	}
+	// EndOfStep marks: first query both true; second query: false,true,true.
+	if !qs[0].Steps[0].EndOfStep || !qs[0].Steps[1].EndOfStep {
+		t.Fatal("EndOfStep marks wrong on first expansion")
+	}
+	if qs[1].Steps[0].EndOfStep || !qs[1].Steps[1].EndOfStep || !qs[1].Steps[2].EndOfStep {
+		t.Fatal("EndOfStep marks wrong on second expansion")
+	}
+	if qs[1].Steps[0].OrigStep != 0 || qs[1].Steps[2].OrigStep != 1 {
+		t.Fatal("OrigStep marks wrong")
+	}
+}
+
+func TestExpandQueryCartesian(t *testing.T) {
+	qs, err := ExpandQuery(pathexpr.MustParse("a+[1,2]/b+[1,3]"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 6 {
+		t.Fatalf("expansions = %d, want 6", len(qs))
+	}
+	// All expansions distinct.
+	seen := map[string]bool{}
+	for _, q := range qs {
+		if seen[q.String()] {
+			t.Fatalf("duplicate expansion %q", q.String())
+		}
+		seen[q.String()] = true
+	}
+	// Lengths range 2..5.
+	if len(qs[0].Steps) != 2 || len(qs[len(qs)-1].Steps) != 5 {
+		t.Fatalf("expansion lengths wrong: first %d last %d", len(qs[0].Steps), len(qs[len(qs)-1].Steps))
+	}
+}
+
+func TestExpandQueryUnbounded(t *testing.T) {
+	qs, err := ExpandQuery(pathexpr.MustParse("friend+[2,*]"), 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 3 { // depths 2, 3, 4
+		t.Fatalf("unbounded expansions = %d, want 3", len(qs))
+	}
+}
+
+func TestExpandQueryTooLarge(t *testing.T) {
+	if _, err := ExpandQuery(pathexpr.MustParse("a+[1,100]/b+[1,100]"), 0, 100); err == nil {
+		t.Fatal("oversized expansion accepted")
+	}
+}
+
+func TestExpandQueryInvalidPath(t *testing.T) {
+	if _, err := ExpandQuery(&pathexpr.Path{}, 0, 0); err == nil {
+		t.Fatal("invalid path accepted")
+	}
+}
+
+func TestExpandQueryHorizonBelowMin(t *testing.T) {
+	// Horizon smaller than the min depth still expands from the min.
+	qs, err := ExpandQuery(pathexpr.MustParse("friend+[5,*]"), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 1 || len(qs[0].Steps) != 5 {
+		t.Fatalf("expansions = %v", qs)
+	}
+}

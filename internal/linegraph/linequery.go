@@ -1,0 +1,119 @@
+package linegraph
+
+import (
+	"fmt"
+	"strings"
+
+	"reachac/internal/pathexpr"
+)
+
+// LineStep is one element of a line query: a single-edge traversal with a
+// concrete label and orientation. EndOfStep marks the positions where an
+// original path step completes, which is where that step's attribute
+// predicates apply (to the head of the traversal).
+type LineStep struct {
+	Label     string
+	Dir       pathexpr.Direction
+	OrigStep  int
+	EndOfStep bool
+}
+
+// LineQuery is an expansion of an OLCR query into a fixed-length sequence of
+// single-edge steps, as in Figure 4: the query friend+[1,2]/colleague+[1]
+// yields two line queries, friend·colleague and friend·friend·colleague.
+type LineQuery struct {
+	Steps []LineStep
+	Src   *pathexpr.Path
+}
+
+// String renders the expansion compactly, e.g. "friend+.friend+.colleague+".
+func (q *LineQuery) String() string {
+	parts := make([]string, len(q.Steps))
+	for i, s := range q.Steps {
+		parts[i] = s.Label + s.Dir.String()
+	}
+	return strings.Join(parts, ".")
+}
+
+// DefaultMaxUnbounded caps the expansion of an unbounded step ([lo,*]) when
+// transforming to line queries. Online search handles unbounded depths
+// exactly; the join-index evaluation needs a materialized length, so this is
+// the index engine's horizon (configurable per call).
+const DefaultMaxUnbounded = 6
+
+// DefaultMaxExpansions bounds the number of line queries one OLCR query may
+// expand into (the product of the depth-interval widths).
+const DefaultMaxExpansions = 4096
+
+// ExpandQuery transforms an OLCR query into its line queries. Each step with
+// depth interval [lo,hi] contributes every repetition count in lo..hi;
+// unbounded steps use lo..maxUnbounded. The total number of expansions is
+// capped by maxExpansions; exceeding it is an error (such queries should use
+// the online engine).
+func ExpandQuery(p *pathexpr.Path, maxUnbounded, maxExpansions int) ([]LineQuery, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if maxUnbounded < 1 {
+		maxUnbounded = DefaultMaxUnbounded
+	}
+	if maxExpansions < 1 {
+		maxExpansions = DefaultMaxExpansions
+	}
+	// Depth choices per step.
+	type choice struct{ lo, hi int }
+	choices := make([]choice, len(p.Steps))
+	total := 1
+	for i, s := range p.Steps {
+		hi := s.MaxDepth
+		if s.Unbounded {
+			hi = s.MinDepth
+			if maxUnbounded > hi {
+				hi = maxUnbounded
+			}
+		}
+		if hi < s.MinDepth {
+			return nil, fmt.Errorf("linegraph: step %d horizon %d below min depth %d", i+1, hi, s.MinDepth)
+		}
+		choices[i] = choice{s.MinDepth, hi}
+		width := hi - s.MinDepth + 1
+		if total > maxExpansions/width {
+			return nil, fmt.Errorf("linegraph: query expands into more than %d line queries", maxExpansions)
+		}
+		total *= width
+	}
+
+	depths := make([]int, len(p.Steps))
+	for i := range depths {
+		depths[i] = choices[i].lo
+	}
+	var out []LineQuery
+	for {
+		lq := LineQuery{Src: p}
+		for si, s := range p.Steps {
+			for d := 0; d < depths[si]; d++ {
+				lq.Steps = append(lq.Steps, LineStep{
+					Label:     s.Label,
+					Dir:       s.Dir,
+					OrigStep:  si,
+					EndOfStep: d == depths[si]-1,
+				})
+			}
+		}
+		out = append(out, lq)
+		// Odometer increment.
+		i := len(depths) - 1
+		for i >= 0 {
+			depths[i]++
+			if depths[i] <= choices[i].hi {
+				break
+			}
+			depths[i] = choices[i].lo
+			i--
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return out, nil
+}

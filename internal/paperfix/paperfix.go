@@ -1,0 +1,118 @@
+// Package paperfix builds the paper's running example: the social network
+// subgraph of Figure 1 (seven members — Alice, Bill, Colin, David, Elena,
+// Fred, George — and twelve typed relationships), together with the queries
+// the paper evaluates over it. The edge list is reconstructed from Figure 1
+// and cross-checked against the line-graph node inventory the paper gives
+// under Figure 5 (Friend A-C, Colleague A-D, Friend A-B, Friend C-D,
+// Friend E-B, Friend B-E, Parent C-F, Colleague D-F, Parent D-G,
+// Friend E-D, Friend E-G, Friend F-G).
+package paperfix
+
+import (
+	"reachac/internal/graph"
+	"reachac/internal/pathexpr"
+)
+
+// Member names in the paper.
+const (
+	Alice  = "Alice"
+	Bill   = "Bill"
+	Colin  = "Colin"
+	David  = "David"
+	Elena  = "Elena"
+	Fred   = "Fred"
+	George = "George"
+)
+
+// Names lists the members in the paper's order (A through G).
+var Names = []string{Alice, Bill, Colin, David, Elena, Fred, George}
+
+// Relationship labels used in Figure 1.
+const (
+	Friend    = "friend"
+	Colleague = "colleague"
+	Parent    = "parent"
+)
+
+// EdgeSpec describes one Figure-1 relationship.
+type EdgeSpec struct {
+	From, To, Label string
+	Weight          float64
+}
+
+// Edges lists the twelve relationships of Figure 1 in the order of the
+// paper's line-graph node inventory (Figure 5, skipping the virtual Null-A
+// node). Two edges carry the trust annotations shown in the figure
+// ("Babysitting;0.8" on a friend edge, "biology;0.6" on a colleague edge);
+// the weights are kept, the topic strings are not part of the model.
+var Edges = []EdgeSpec{
+	{Alice, Colin, Friend, 0},
+	{Alice, David, Colleague, 0.6},
+	{Alice, Bill, Friend, 0},
+	{Colin, David, Friend, 0},
+	{Elena, Bill, Friend, 0},
+	{Bill, Elena, Friend, 0},
+	{Colin, Fred, Parent, 0},
+	{David, Fred, Colleague, 0},
+	{David, George, Parent, 0},
+	{Elena, David, Friend, 0},
+	{Elena, George, Friend, 0},
+	{Fred, George, Friend, 0.8},
+}
+
+// Graph returns a fresh copy of the Figure-1 social graph. Node IDs follow
+// the order of Names (Alice=0 … George=6); λ(Alice) = (gender=female,
+// age=24) as in §2.
+func Graph() *graph.Graph {
+	g := graph.New()
+	// Intern the labels in the paper's alphabet order Σ = {colleague,
+	// friend, parent}? The paper lists {Colleague, Friend, Parent}
+	// alphabetically; we intern in first-use order of the figure, then the
+	// tables sort by name where determinism matters.
+	for _, n := range Names {
+		var attrs graph.Attrs
+		if n == Alice {
+			attrs = graph.Attrs{"gender": graph.String("female"), "age": graph.Int(24)}
+		}
+		g.MustAddNode(n, attrs)
+	}
+	for _, e := range Edges {
+		from, _ := g.NodeByName(e.From)
+		to, _ := g.NodeByName(e.To)
+		if _, err := g.AddWeightedEdge(from, to, e.Label, e.Weight); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// Q1 is the reachability query of Figure 2: the colleagues of Alice's
+// friends within 2 hops — Alice/friend+[1,2]/colleague+[1].
+func Q1() *pathexpr.Path { return pathexpr.MustParse("friend+[1,2]/colleague+[1]") }
+
+// Q1Grantees is the set of members Q1 authorizes on the Figure-1 graph:
+// Fred, reached as Alice -friend-> Colin -friend-> David -colleague-> Fred.
+var Q1Grantees = []string{Fred}
+
+// QFriendParentFriend is the worked query of §3.3–3.4: the path
+// /friend/parent/friend (all steps outgoing, depth 1). Its single surviving
+// tuple corresponds to Alice -> Colin -> Fred -> George, so George is
+// granted access to Alice's resource.
+func QFriendParentFriend() *pathexpr.Path {
+	return pathexpr.MustParse("friend+[1]/parent+[1]/friend+[1]")
+}
+
+// QFriendParentFriendGrantees is the audience of QFriendParentFriend with
+// Alice as owner.
+var QFriendParentFriendGrantees = []string{George}
+
+// QDavidConsidersFriend is the §2 example: David shares his jokes with
+// those who consider him a friend — an incoming friend edge (Elena, Colin).
+func QDavidConsidersFriend() *pathexpr.Path { return pathexpr.MustParse("friend-[1]") }
+
+// QDavidConsidersFriendGrantees lists who that query authorizes for David.
+var QDavidConsidersFriendGrantees = []string{Colin, Elena}
+
+// FriendDepth3Chain is the §2 depth example: from Alice to George there is a
+// friend-typed path Alice-Bill-Elena-George of length 3.
+func FriendDepth3Chain() *pathexpr.Path { return pathexpr.MustParse("friend+[3]") }

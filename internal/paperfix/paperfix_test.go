@@ -1,0 +1,66 @@
+package paperfix
+
+import "testing"
+
+func TestFigure1Fixture(t *testing.T) {
+	g := Graph()
+	if g.NumNodes() != 7 {
+		t.Fatalf("nodes = %d, want 7", g.NumNodes())
+	}
+	if g.NumEdges() != 12 {
+		t.Fatalf("edges = %d, want 12", g.NumEdges())
+	}
+	if g.NumLabels() != 3 {
+		t.Fatalf("labels = %d, want 3", g.NumLabels())
+	}
+	for _, e := range Edges {
+		from, ok := g.NodeByName(e.From)
+		if !ok {
+			t.Fatalf("node %q missing", e.From)
+		}
+		to, ok := g.NodeByName(e.To)
+		if !ok {
+			t.Fatalf("node %q missing", e.To)
+		}
+		if !g.HasEdge(from, to, e.Label) {
+			t.Fatalf("edge %s -%s-> %s missing", e.From, e.Label, e.To)
+		}
+	}
+	alice, _ := g.NodeByName(Alice)
+	if v, ok := g.Attr(alice, "age"); !ok || v.Num() != 24 {
+		t.Fatalf("λ(Alice).age = %v,%v", v, ok)
+	}
+	if v, ok := g.Attr(alice, "gender"); !ok || v.Str() != "female" {
+		t.Fatalf("λ(Alice).gender = %v,%v", v, ok)
+	}
+}
+
+func TestGraphReturnsFreshCopies(t *testing.T) {
+	g1 := Graph()
+	g2 := Graph()
+	a, _ := g1.NodeByName(Alice)
+	b, _ := g1.NodeByName(Bill)
+	// Removing from g1 must not affect g2.
+	l, _ := g1.LookupLabel(Friend)
+	if err := g1.RemoveEdge(g1.FindEdge(a, b, l)); err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 12 {
+		t.Fatal("fixture instances share state")
+	}
+}
+
+func TestQueriesParse(t *testing.T) {
+	if got := Q1().String(); got != "friend+[1,2]/colleague+[1]" {
+		t.Fatalf("Q1 = %q", got)
+	}
+	if len(QFriendParentFriend().Steps) != 3 {
+		t.Fatal("QFriendParentFriend steps")
+	}
+	if QDavidConsidersFriend().Steps[0].Dir.String() != "-" {
+		t.Fatal("QDavidConsidersFriend direction")
+	}
+	if FriendDepth3Chain().Steps[0].MinDepth != 3 {
+		t.Fatal("FriendDepth3Chain depth")
+	}
+}

@@ -1,0 +1,38 @@
+package pathexpr
+
+import "testing"
+
+// FuzzParse checks that the parser never panics and that every accepted
+// input round-trips through String exactly once canonicalized.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"friend",
+		"friend+[1,2]/colleague+[1]",
+		`friend+[1]{age>=18, city="paris"}`,
+		"parent-[2,*]",
+		"a*[3]/b-[1,4]{x!=true}",
+		"friend+[1,2",
+		"{}",
+		"///",
+		"friend{‽=1}",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := Parse(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Parse accepted %q but Validate rejects: %v", input, err)
+		}
+		canon := p.String()
+		p2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, input, err)
+		}
+		if p2.String() != canon {
+			t.Fatalf("canonicalization not idempotent: %q -> %q -> %q", input, canon, p2.String())
+		}
+	})
+}

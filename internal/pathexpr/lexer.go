@@ -1,0 +1,197 @@
+package pathexpr
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSlash    // /
+	tokPlus     // +
+	tokMinus    // -
+	tokStar     // *
+	tokLBracket // [
+	tokRBracket // ]
+	tokLBrace   // {
+	tokRBrace   // }
+	tokComma    // ,
+	tokOp       // = != < <= > >=
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokSlash:
+		return "'/'"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokComma:
+		return "','"
+	default:
+		return "operator"
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset in the input, for error messages
+}
+
+// SyntaxError reports a parse failure with its byte position.
+type SyntaxError struct {
+	Input string
+	Pos   int
+	Msg   string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("pathexpr: %s at offset %d in %q", e.Msg, e.Pos, e.Input)
+}
+
+type lexer struct {
+	input string
+	pos   int
+}
+
+func (l *lexer) errorf(pos int, format string, args ...any) error {
+	return &SyntaxError{Input: l.input, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.input) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.input[l.pos]
+	switch c {
+	case '/':
+		l.pos++
+		return token{tokSlash, "/", start}, nil
+	case '+':
+		l.pos++
+		return token{tokPlus, "+", start}, nil
+	case '-':
+		l.pos++
+		return token{tokMinus, "-", start}, nil
+	case '*':
+		l.pos++
+		return token{tokStar, "*", start}, nil
+	case '[':
+		l.pos++
+		return token{tokLBracket, "[", start}, nil
+	case ']':
+		l.pos++
+		return token{tokRBracket, "]", start}, nil
+	case '{':
+		l.pos++
+		return token{tokLBrace, "{", start}, nil
+	case '}':
+		l.pos++
+		return token{tokRBrace, "}", start}, nil
+	case ',':
+		l.pos++
+		return token{tokComma, ",", start}, nil
+	case '=':
+		l.pos++
+		return token{tokOp, "=", start}, nil
+	case '!':
+		if strings.HasPrefix(l.input[l.pos:], "!=") {
+			l.pos += 2
+			return token{tokOp, "!=", start}, nil
+		}
+		return token{}, l.errorf(start, "unexpected '!'")
+	case '<', '>':
+		op := string(c)
+		l.pos++
+		if l.pos < len(l.input) && l.input[l.pos] == '=' {
+			op += "="
+			l.pos++
+		}
+		return token{tokOp, op, start}, nil
+	case '"', '\'':
+		quote := c
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.input) {
+			ch := l.input[l.pos]
+			if ch == quote {
+				l.pos++
+				return token{tokString, b.String(), start}, nil
+			}
+			if ch == '\\' && l.pos+1 < len(l.input) {
+				l.pos++
+				ch = l.input[l.pos]
+			}
+			b.WriteByte(ch)
+			l.pos++
+		}
+		return token{}, l.errorf(start, "unterminated string")
+	}
+	if c >= '0' && c <= '9' || c == '.' {
+		for l.pos < len(l.input) {
+			ch := l.input[l.pos]
+			if ch >= '0' && ch <= '9' || ch == '.' {
+				l.pos++
+				continue
+			}
+			break
+		}
+		return token{tokNumber, l.input[start:l.pos], start}, nil
+	}
+	r, _ := utf8.DecodeRuneInString(l.input[l.pos:])
+	if isIdentStart(r) {
+		for l.pos < len(l.input) {
+			r, sz := utf8.DecodeRuneInString(l.input[l.pos:])
+			if !isIdentCont(r) {
+				break
+			}
+			l.pos += sz
+		}
+		return token{tokIdent, l.input[start:l.pos], start}, nil
+	}
+	return token{}, l.errorf(start, "unexpected character %q", r)
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentCont(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

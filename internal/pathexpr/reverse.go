@@ -1,0 +1,52 @@
+package pathexpr
+
+// Reverse returns the pattern that matches the same concrete paths walked
+// from the requester's side back to the owner, plus the predicates that the
+// caller must check directly on the requester.
+//
+// For p = s1/s2/.../sk over boundary nodes b0 (owner) .. bk (requester):
+//   - step order is reversed and each orientation is flipped ('+' ↔ '-');
+//   - step si's predicates apply at node b_i; walking backwards, b_i is
+//     where reversed step (k-i) ENDS, so si's predicates reattach to the
+//     reversed step ending there — i.e. reversed step j carries the
+//     predicates of original step k-1-j.  The original last step's
+//     predicates apply to b_k, the requester itself (the reversed walk's
+//     START), and are returned separately as srcPreds;
+//   - the reversed walk must end at the owner, which carries no predicates
+//     in the model (Definition 3 constrains only reached users).
+//
+// For any graph:  owner ⊨p⊨> requester  ⇔
+//
+//	srcPreds hold on requester  ∧  requester ⊨rev⊨> owner.
+func Reverse(p *Path) (rev *Path, srcPreds []Pred) {
+	k := len(p.Steps)
+	rev = &Path{Steps: make([]Step, k)}
+	for j := 0; j < k; j++ {
+		src := p.Steps[k-1-j]
+		st := Step{
+			Label:     src.Label,
+			Dir:       flip(src.Dir),
+			MinDepth:  src.MinDepth,
+			MaxDepth:  src.MaxDepth,
+			Unbounded: src.Unbounded,
+		}
+		// Predicates of the original step whose end node this reversed step
+		// lands on.
+		if j < k-1 {
+			st.Preds = append([]Pred(nil), p.Steps[k-2-j].Preds...)
+		}
+		rev.Steps[j] = st
+	}
+	return rev, append([]Pred(nil), p.Steps[k-1].Preds...)
+}
+
+func flip(d Direction) Direction {
+	switch d {
+	case Out:
+		return In
+	case In:
+		return Out
+	default:
+		return Both
+	}
+}

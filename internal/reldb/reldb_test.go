@@ -1,0 +1,141 @@
+package reldb
+
+import "testing"
+
+func row(id int32, in, out []int32) Row { return Row{ID: id, In: in, Out: out} }
+
+func TestIntersects(t *testing.T) {
+	cases := []struct {
+		a, b []int32
+		want bool
+	}{
+		{nil, nil, false},
+		{[]int32{1}, nil, false},
+		{[]int32{1, 3, 5}, []int32{2, 4, 6}, false},
+		{[]int32{1, 3, 5}, []int32{5}, true},
+		{[]int32{7}, []int32{1, 7, 9}, true},
+		{[]int32{1, 2, 3}, []int32{3, 4}, true},
+	}
+	for i, c := range cases {
+		if got := Intersects(c.a, c.b); got != c.want {
+			t.Errorf("case %d: Intersects(%v,%v) = %v", i, c.a, c.b, got)
+		}
+	}
+}
+
+func TestFilterAndLookup(t *testing.T) {
+	tbl := NewTable("friend", []Row{
+		row(1, nil, []int32{1}),
+		row(2, []int32{1}, nil),
+		row(3, []int32{1}, []int32{2}),
+	})
+	if tbl.Len() != 3 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	f := tbl.Filter(func(r Row) bool { return len(r.Out) > 0 })
+	if f.Len() != 2 || f.Rows[0].ID != 1 || f.Rows[1].ID != 3 {
+		t.Fatalf("Filter = %+v", f.Rows)
+	}
+	r, ok := tbl.Lookup(2)
+	if !ok || r.ID != 2 {
+		t.Fatalf("Lookup(2) = %+v,%v", r, ok)
+	}
+	if _, ok := tbl.Lookup(99); ok {
+		t.Fatal("Lookup(99) found ghost")
+	}
+}
+
+func TestReachJoinPaperExample(t *testing.T) {
+	// §3.3: ⟨friendA-C, colleagueD-F⟩ joins because Lout(friendA-C) ∩
+	// Lin(colleagueD-F) ≠ ∅ (they share a center). Model centers as ranks:
+	// center 0 = colleagueD-F's own cluster, center 1 = friendC-D.
+	friend := NewTable("friend", []Row{
+		row(10, nil, []int32{0, 1}),     // friendA-C: Lout = {colleagueD-F, friendC-D}
+		row(11, []int32{1}, []int32{}),  // friendC-D-ish row with no out
+		row(12, []int32{9}, []int32{5}), // unrelated
+	})
+	colleague := NewTable("colleague", []Row{
+		row(20, []int32{0, 1, 2}, nil), // colleagueD-F: Lin ∋ shared centers
+		row(21, []int32{7}, nil),       // unrelated
+	})
+	pairs := ReachJoin(friend, colleague)
+	if len(pairs) != 1 || pairs[0] != (Pair{10, 20}) {
+		t.Fatalf("ReachJoin = %+v", pairs)
+	}
+}
+
+func TestReachJoinEmptyOut(t *testing.T) {
+	a := NewTable("a", []Row{row(1, nil, nil)})
+	b := NewTable("b", []Row{row(2, []int32{1}, nil)})
+	if pairs := ReachJoin(a, b); len(pairs) != 0 {
+		t.Fatalf("empty-out joined: %+v", pairs)
+	}
+}
+
+func TestTupleSetChain(t *testing.T) {
+	// Three-step chain mimicking (T_friend ⋈ T_parent) ⋈ T_friend of §3.3.
+	t1 := NewTable("friend", []Row{
+		row(1, nil, []int32{5}),
+		row(2, nil, []int32{6}),
+	})
+	t2 := NewTable("parent", []Row{
+		row(3, []int32{5}, []int32{7}),
+		row(4, []int32{6}, nil),
+	})
+	t3 := NewTable("friend", []Row{
+		row(5, []int32{7}, nil),
+	})
+	ts := FromTable(t1)
+	if ts.Len() != 2 {
+		t.Fatalf("seed len = %d", ts.Len())
+	}
+	ts2, ok := ts.Extend(t2, 0)
+	if !ok || ts2.Len() != 2 {
+		t.Fatalf("extend1 = %d,%v", ts2.Len(), ok)
+	}
+	ts3, ok := ts2.Extend(t3, 0)
+	if !ok || ts3.Len() != 1 {
+		t.Fatalf("extend2 = %d,%v", ts3.Len(), ok)
+	}
+	want := []int32{1, 3, 5}
+	for i, v := range want {
+		if ts3.Tuples[0][i] != v {
+			t.Fatalf("tuple = %v, want %v", ts3.Tuples[0], want)
+		}
+	}
+}
+
+func TestTupleSetExtendCap(t *testing.T) {
+	rows := make([]Row, 40)
+	for i := range rows {
+		rows[i] = row(int32(i), []int32{1}, []int32{1})
+	}
+	t1 := NewTable("a", rows)
+	ts := FromTable(t1)
+	if _, ok := ts.Extend(t1, 100); ok {
+		t.Fatal("cap not enforced (40*40 > 100)")
+	}
+	if out, ok := ts.Extend(t1, 0); !ok || out.Len() != 1600 {
+		t.Fatalf("uncapped extend = %d,%v", out.Len(), ok)
+	}
+}
+
+func TestSortTuples(t *testing.T) {
+	ts := &TupleSet{
+		Tuples: [][]int32{{3, 1}, {1, 2}, {1, 1}},
+		last:   []Row{row(1, nil, nil), row(2, nil, nil), row(1, nil, nil)},
+	}
+	ts.SortTuples()
+	want := [][]int32{{1, 1}, {1, 2}, {3, 1}}
+	for i := range want {
+		for j := range want[i] {
+			if ts.Tuples[i][j] != want[i][j] {
+				t.Fatalf("sorted = %v", ts.Tuples)
+			}
+		}
+	}
+	// last stays aligned: tuple {1,2} has last row id 2.
+	if ts.last[1].ID != 2 {
+		t.Fatalf("last misaligned: %+v", ts.last)
+	}
+}

@@ -1,0 +1,147 @@
+// Package scc computes strongly connected components with Tarjan's algorithm
+// [Tarjan 1972], as used by the paper (§3.2) to condense the line graph into
+// a DAG before interval labeling. The condensation preserves reachability:
+// any two vertices in the same SCC are mutually reachable, so collapsing
+// each SCC to one representative loses no reachability information.
+package scc
+
+import "reachac/internal/digraph"
+
+// Result holds the component decomposition of a digraph.
+type Result struct {
+	// Comp maps each vertex to its component index in [0, NumComp).
+	// Components are numbered in reverse topological order of discovery by
+	// Tarjan's algorithm and then renumbered so that the condensation edges
+	// go from lower to higher indices (a topological numbering).
+	Comp []int
+	// NumComp is the number of strongly connected components.
+	NumComp int
+	// Members lists the vertices of each component in ascending order.
+	Members [][]int
+	// Rep is the representative vertex of each component: the
+	// lowest-numbered member (deterministic stand-in for the paper's
+	// "randomly selected node from that SCC").
+	Rep []int
+}
+
+// Tarjan computes the strongly connected components of d using an iterative
+// (stack-based) Tarjan to avoid recursion depth limits on large graphs.
+func Tarjan(d *digraph.D) *Result {
+	n := d.N()
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = -1
+	}
+	var (
+		stack   []int // Tarjan's SCC stack
+		nextIdx int
+		numComp int
+	)
+
+	// Explicit DFS frames: vertex and the position within its successor list.
+	type frame struct {
+		v  int
+		ei int
+	}
+	var dfs []frame
+
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		dfs = append(dfs[:0], frame{v: root})
+		index[root] = nextIdx
+		low[root] = nextIdx
+		nextIdx++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(dfs) > 0 {
+			f := &dfs[len(dfs)-1]
+			succ := d.Succ(f.v)
+			if f.ei < len(succ) {
+				w := int(succ[f.ei])
+				f.ei++
+				if index[w] == unvisited {
+					index[w] = nextIdx
+					low[w] = nextIdx
+					nextIdx++
+					stack = append(stack, w)
+					onStack[w] = true
+					dfs = append(dfs, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// All successors done: close the frame.
+			v := f.v
+			dfs = dfs[:len(dfs)-1]
+			if len(dfs) > 0 {
+				parent := &dfs[len(dfs)-1]
+				if low[v] < low[parent.v] {
+					low[parent.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				// v is the root of an SCC: pop it.
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = numComp
+					if w == v {
+						break
+					}
+				}
+				numComp++
+			}
+		}
+	}
+
+	// Tarjan emits components in reverse topological order; flip the
+	// numbering so condensation edges run low -> high.
+	for v := range comp {
+		comp[v] = numComp - 1 - comp[v]
+	}
+
+	members := make([][]int, numComp)
+	for v := 0; v < n; v++ {
+		members[comp[v]] = append(members[comp[v]], v)
+	}
+	rep := make([]int, numComp)
+	for c, m := range members {
+		rep[c] = m[0] // members are appended in ascending vertex order
+	}
+	return &Result{Comp: comp, NumComp: numComp, Members: members, Rep: rep}
+}
+
+// Condense builds the condensation DAG of d under the decomposition r:
+// one vertex per component, with deduplicated edges between distinct
+// components. Component numbering is topological (see Result.Comp), so the
+// output always passes TopoOrder.
+func Condense(d *digraph.D, r *Result) *digraph.D {
+	dag := digraph.New(r.NumComp)
+	seen := make(map[int64]bool)
+	for u := 0; u < d.N(); u++ {
+		cu := r.Comp[u]
+		for _, v := range d.Succ(u) {
+			cv := r.Comp[v]
+			if cu == cv {
+				continue
+			}
+			key := int64(cu)<<32 | int64(cv)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			dag.AddEdge(cu, cv)
+		}
+	}
+	return dag
+}

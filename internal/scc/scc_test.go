@@ -1,0 +1,158 @@
+package scc
+
+import (
+	"math/rand"
+	"testing"
+
+	"reachac/internal/digraph"
+)
+
+func TestSingleVertex(t *testing.T) {
+	r := Tarjan(digraph.New(1))
+	if r.NumComp != 1 || r.Comp[0] != 0 || r.Rep[0] != 0 {
+		t.Fatalf("single vertex: %+v", r)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	r := Tarjan(digraph.New(4))
+	if r.NumComp != 4 {
+		t.Fatalf("NumComp = %d, want 4", r.NumComp)
+	}
+}
+
+func TestSimpleCycle(t *testing.T) {
+	d := digraph.New(3)
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 2)
+	d.AddEdge(2, 0)
+	r := Tarjan(d)
+	if r.NumComp != 1 {
+		t.Fatalf("cycle: NumComp = %d, want 1", r.NumComp)
+	}
+	if len(r.Members[0]) != 3 || r.Rep[0] != 0 {
+		t.Fatalf("cycle members = %v rep = %d", r.Members[0], r.Rep[0])
+	}
+}
+
+func TestTwoSCCsChain(t *testing.T) {
+	// {0,1} -> {2,3}
+	d := digraph.New(4)
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 0)
+	d.AddEdge(1, 2)
+	d.AddEdge(2, 3)
+	d.AddEdge(3, 2)
+	r := Tarjan(d)
+	if r.NumComp != 2 {
+		t.Fatalf("NumComp = %d, want 2", r.NumComp)
+	}
+	if r.Comp[0] != r.Comp[1] || r.Comp[2] != r.Comp[3] || r.Comp[0] == r.Comp[2] {
+		t.Fatalf("Comp = %v", r.Comp)
+	}
+	// Topological numbering: source component must get the lower index.
+	if r.Comp[0] >= r.Comp[2] {
+		t.Fatalf("component numbering not topological: %v", r.Comp)
+	}
+}
+
+func TestCondenseIsDAGAndTopological(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(40)
+		d := digraph.New(n)
+		m := rng.Intn(n * 3)
+		for i := 0; i < m; i++ {
+			d.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		r := Tarjan(d)
+		dag := Condense(d, r)
+		if _, err := dag.TopoOrder(); err != nil {
+			t.Fatalf("trial %d: condensation has a cycle: %v", trial, err)
+		}
+		// Component numbering must itself be topological.
+		for u := 0; u < dag.N(); u++ {
+			for _, v := range dag.Succ(u) {
+				if u >= int(v) {
+					t.Fatalf("trial %d: condensation edge (%d,%d) not increasing", trial, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestCondensationPreservesReachability(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(25)
+		d := digraph.New(n)
+		for i := 0; i < n*2; i++ {
+			d.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		r := Tarjan(d)
+		dag := Condense(d, r)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				want := d.Reachable(u, v)
+				got := dag.Reachable(r.Comp[u], r.Comp[v])
+				if got != want {
+					t.Fatalf("trial %d: reachability (%d,%d): graph %v dag %v",
+						trial, u, v, want, got)
+				}
+			}
+		}
+	}
+}
+
+func TestSameSCCMutuallyReachable(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(20)
+		d := digraph.New(n)
+		for i := 0; i < n*2; i++ {
+			d.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		r := Tarjan(d)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				same := r.Comp[u] == r.Comp[v]
+				mutual := d.Reachable(u, v) && d.Reachable(v, u)
+				if same != mutual {
+					t.Fatalf("trial %d: SCC membership (%d,%d)=%v but mutual=%v",
+						trial, u, v, same, mutual)
+				}
+			}
+		}
+	}
+}
+
+func TestMembersSortedAndRepIsMin(t *testing.T) {
+	d := digraph.New(5)
+	d.AddEdge(4, 2)
+	d.AddEdge(2, 4)
+	d.AddEdge(2, 3)
+	r := Tarjan(d)
+	for c, members := range r.Members {
+		for i := 1; i < len(members); i++ {
+			if members[i-1] >= members[i] {
+				t.Fatalf("component %d members unsorted: %v", c, members)
+			}
+		}
+		if r.Rep[c] != members[0] {
+			t.Fatalf("component %d rep %d != min member %d", c, r.Rep[c], members[0])
+		}
+	}
+}
+
+func TestDeepChainNoStackOverflow(t *testing.T) {
+	// 200k-vertex path exercises the iterative DFS.
+	n := 200_000
+	d := digraph.New(n)
+	for i := 0; i < n-1; i++ {
+		d.AddEdge(i, i+1)
+	}
+	r := Tarjan(d)
+	if r.NumComp != n {
+		t.Fatalf("NumComp = %d, want %d", r.NumComp, n)
+	}
+}

@@ -1,0 +1,75 @@
+package search
+
+import (
+	"reachac/internal/graph"
+	"reachac/internal/pathexpr"
+)
+
+// ReachableAdaptive is Reachable with endpoint selection: the product
+// search starts from whichever endpoint admits fewer seed traversals. For
+// policies like "celebrity's followers' friends", the owner side may fan
+// out to millions while the requester side stays in the tens; evaluating
+// the reversed pattern (pathexpr.Reverse) from the requester bounds the
+// frontier by the smaller cone. Decisions are identical to Reachable.
+func (e *Engine) ReachableAdaptive(owner, requester graph.NodeID, p *pathexpr.Path) (bool, error) {
+	if err := p.Validate(); err != nil {
+		return false, err
+	}
+	if !e.g.ValidNode(owner) || !e.g.ValidNode(requester) {
+		// Delegate for uniform error wording.
+		return e.Reachable(owner, requester, p)
+	}
+	fwdSeeds := e.seedCount(owner, p.Steps[0])
+	rev, srcPreds := pathexpr.Reverse(p)
+	bwdSeeds := e.seedCount(requester, rev.Steps[0])
+	if bwdSeeds < fwdSeeds {
+		for _, pr := range srcPreds {
+			if !pr.Eval(e.g.Node(requester).Attrs) {
+				return false, nil
+			}
+		}
+		return e.Reachable(requester, owner, rev)
+	}
+	return e.Reachable(owner, requester, p)
+}
+
+// seedCount counts the traversals of node n admitted as a first edge of
+// step s (label and orientation only; predicates do not affect fan-out).
+func (e *Engine) seedCount(n graph.NodeID, s pathexpr.Step) int {
+	label, ok := e.g.LookupLabel(s.Label)
+	if !ok {
+		return 0
+	}
+	count := 0
+	if s.Dir == pathexpr.Out || s.Dir == pathexpr.Both {
+		e.g.OutEdges(n, func(edge graph.Edge) bool {
+			if edge.Label == label {
+				count++
+			}
+			return true
+		})
+	}
+	if s.Dir == pathexpr.In || s.Dir == pathexpr.Both {
+		e.g.InEdges(n, func(edge graph.Edge) bool {
+			if edge.Label == label {
+				count++
+			}
+			return true
+		})
+	}
+	return count
+}
+
+// Adaptive wraps an Engine so that its Reachable method uses adaptive
+// endpoint selection, satisfying core.Evaluator.
+type Adaptive struct {
+	*Engine
+}
+
+// NewAdaptive returns an adaptive online evaluator over g.
+func NewAdaptive(g *graph.Graph) Adaptive { return Adaptive{New(g)} }
+
+// Reachable implements core.Evaluator via ReachableAdaptive.
+func (a Adaptive) Reachable(owner, requester graph.NodeID, p *pathexpr.Path) (bool, error) {
+	return a.ReachableAdaptive(owner, requester, p)
+}

@@ -1,0 +1,184 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+
+	"reachac/internal/graph"
+	"reachac/internal/paperfix"
+	"reachac/internal/pathexpr"
+)
+
+func TestReversePaperQuery(t *testing.T) {
+	// Q1 = friend+[1,2]/colleague+[1]; reversed: colleague-[1]/friend-[1,2].
+	rev, src := pathexpr.Reverse(paperfix.Q1())
+	if got := rev.String(); got != "colleague-[1]/friend-[1,2]" {
+		t.Fatalf("reversed Q1 = %q", got)
+	}
+	if len(src) != 0 {
+		t.Fatalf("srcPreds = %v, want none", src)
+	}
+}
+
+func TestReversePredicateReattachment(t *testing.T) {
+	p := pathexpr.MustParse(`friend+[1]{age>=18}/colleague+[2]{age<30}/parent-[1]{age=5}`)
+	rev, src := pathexpr.Reverse(p)
+	// Reversed order: parent+[1], colleague-[2], friend-[1].
+	if rev.Steps[0].Label != "parent" || rev.Steps[0].Dir != pathexpr.Out {
+		t.Fatalf("rev[0] = %+v", rev.Steps[0])
+	}
+	// rev step 0 ends where original colleague step ended: carries age<30.
+	if len(rev.Steps[0].Preds) != 1 || rev.Steps[0].Preds[0].Op != pathexpr.OpLt {
+		t.Fatalf("rev[0] preds = %v", rev.Steps[0].Preds)
+	}
+	// rev step 1 ends where friend step ended: carries age>=18.
+	if len(rev.Steps[1].Preds) != 1 || rev.Steps[1].Preds[0].Op != pathexpr.OpGe {
+		t.Fatalf("rev[1] preds = %v", rev.Steps[1].Preds)
+	}
+	// rev step 2 ends at the owner: no predicates.
+	if len(rev.Steps[2].Preds) != 0 {
+		t.Fatalf("rev[2] preds = %v", rev.Steps[2].Preds)
+	}
+	// The original last step's predicate (age=5) applies to the requester.
+	if len(src) != 1 || src[0].Op != pathexpr.OpEq {
+		t.Fatalf("srcPreds = %v", src)
+	}
+	// Reverse does not alias the original's predicate slices.
+	rev.Steps[0].Preds[0].Attr = "mutated"
+	if p.Steps[1].Preds[0].Attr != "age" {
+		t.Fatal("Reverse aliases original predicates")
+	}
+}
+
+func TestReverseEquivalenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	labels := []string{"friend", "colleague", "parent"}
+	exprs := []string{
+		"friend+[1,2]/colleague+[1]",
+		"friend-[2]",
+		"friend*[1,2]/parent+[1]",
+		"colleague+[1,*]",
+		"friend+[1]{age>=18}/parent-[1]",
+		"parent+[1]/friend+[1,3]{age<40}",
+	}
+	for trial := 0; trial < 12; trial++ {
+		n := 4 + rng.Intn(12)
+		g := graph.New()
+		for i := 0; i < n; i++ {
+			var attrs graph.Attrs
+			if rng.Intn(2) == 0 {
+				attrs = graph.Attrs{"age": graph.Int(10 + rng.Intn(50))}
+			}
+			g.MustAddNode(nameOf(i), attrs)
+		}
+		for i := 0; i < n*3; i++ {
+			u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			if u != v {
+				_, _ = g.AddEdge(u, v, labels[rng.Intn(len(labels))])
+			}
+		}
+		e := New(g)
+		for _, expr := range exprs {
+			p := pathexpr.MustParse(expr)
+			rev, src := pathexpr.Reverse(p)
+			for o := 0; o < n; o++ {
+				for r := 0; r < n; r++ {
+					oid, rid := graph.NodeID(o), graph.NodeID(r)
+					want, err := e.Reachable(oid, rid, p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					srcOK := true
+					for _, pr := range src {
+						if !pr.Eval(g.Node(rid).Attrs) {
+							srcOK = false
+						}
+					}
+					got, err := e.Reachable(rid, oid, rev)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if (got && srcOK) != want {
+						t.Fatalf("trial %d: reverse of %s disagrees on (%d,%d): fwd=%v rev=%v srcOK=%v",
+							trial, expr, o, r, want, got, srcOK)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAdaptiveAgreesWithForward(t *testing.T) {
+	g := paperfix.Graph()
+	fwd := New(g)
+	ad := NewAdaptive(g)
+	queries := []string{
+		"friend+[1,2]/colleague+[1]",
+		"friend+[1]/parent+[1]/friend+[1]",
+		"friend-[1]",
+		"friend*[1,3]",
+		"friend+[1,*]",
+		"friend+[1]{age>=18}",
+	}
+	for _, q := range queries {
+		p := pathexpr.MustParse(q)
+		for _, o := range paperfix.Names {
+			for _, r := range paperfix.Names {
+				oid := node(t, g, o)
+				rid := node(t, g, r)
+				want, err := fwd.Reachable(oid, rid, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := ad.Reachable(oid, rid, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("adaptive disagrees on (%s,%s,%s): %v want %v", o, r, q, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAdaptivePicksSmallSide(t *testing.T) {
+	// A celebrity with 500 followers; the requester follows exactly one
+	// account. Seed counts must favor the requester side.
+	g := graph.New()
+	celeb := g.MustAddNode("celeb", nil)
+	req := g.MustAddNode("req", nil)
+	for i := 0; i < 500; i++ {
+		f := g.MustAddNode(nameOf(i+2), nil)
+		g.MustAddEdge(celeb, f, "follows")
+	}
+	g.MustAddEdge(celeb, req, "follows")
+	e := New(g)
+	p := pathexpr.MustParse("follows+[1]")
+	if got := e.seedCount(celeb, p.Steps[0]); got != 501 {
+		t.Fatalf("owner seeds = %d", got)
+	}
+	rev, _ := pathexpr.Reverse(p)
+	if got := e.seedCount(req, rev.Steps[0]); got != 1 {
+		t.Fatalf("requester seeds = %d", got)
+	}
+	ok, err := e.ReachableAdaptive(celeb, req, p)
+	if err != nil || !ok {
+		t.Fatalf("adaptive = %v, %v", ok, err)
+	}
+}
+
+func TestAdaptiveInvalidInputs(t *testing.T) {
+	g := paperfix.Graph()
+	ad := NewAdaptive(g)
+	if _, err := ad.Reachable(999, 0, paperfix.Q1()); err == nil {
+		t.Fatal("invalid owner accepted")
+	}
+	if _, err := ad.Reachable(0, 1, &pathexpr.Path{}); err == nil {
+		t.Fatal("invalid path accepted")
+	}
+}
+
+func nameOf(i int) string {
+	return "n" + string(rune('0'+i/100)) + string(rune('0'+i/10%10)) + string(rune('0'+i%10))
+}

@@ -1,0 +1,89 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+
+	"reachac/internal/graph"
+	"reachac/internal/pathexpr"
+)
+
+// AudienceSet computes in one product traversal the set of all members
+// reachable from owner through a path matching p — the full audience of an
+// access condition. It costs the same as a single Reachable call (the
+// product BFS explores the same state space), against |V| calls for the
+// naive per-member loop. The owner is included only if a genuine cycle
+// matches. Results are in ascending node-ID order.
+func (e *Engine) AudienceSet(owner graph.NodeID, p *pathexpr.Path) ([]graph.NodeID, error) {
+	if !e.g.ValidNode(owner) {
+		return nil, fmt.Errorf("search: invalid owner %d", owner)
+	}
+	steps, err := compile(e.g, p)
+	if err != nil {
+		return nil, err
+	}
+	for i := range steps {
+		if !steps[i].labelOK {
+			return nil, nil
+		}
+	}
+
+	start := state{node: owner, step: 0, d: 0}
+	seen := map[state]bool{start: true}
+	frontier := []state{start}
+	audience := make(map[graph.NodeID]bool)
+
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		st := &steps[cur.step]
+
+		expand := func(next graph.NodeID) {
+			d := int(cur.d) + 1
+			// Close the step here when allowed.
+			if st.mayClose(d) && st.predsHold(e.g, next) {
+				if int(cur.step) == len(steps)-1 {
+					audience[next] = true
+				} else {
+					ns := state{node: next, step: cur.step + 1, d: 0}
+					if !seen[ns] {
+						seen[ns] = true
+						frontier = append(frontier, ns)
+					}
+				}
+			}
+			// Continue the step.
+			if st.mayContinue(d) {
+				ns := state{node: next, step: cur.step, d: uint16(st.dKey(d))}
+				if !seen[ns] {
+					seen[ns] = true
+					frontier = append(frontier, ns)
+				}
+			}
+		}
+
+		if st.dir == pathexpr.Out || st.dir == pathexpr.Both {
+			e.g.OutEdges(cur.node, func(edge graph.Edge) bool {
+				if edge.Label == st.label {
+					expand(edge.To)
+				}
+				return true
+			})
+		}
+		if st.dir == pathexpr.In || st.dir == pathexpr.Both {
+			e.g.InEdges(cur.node, func(edge graph.Edge) bool {
+				if edge.Label == st.label {
+					expand(edge.From)
+				}
+				return true
+			})
+		}
+	}
+
+	out := make([]graph.NodeID, 0, len(audience))
+	for id := range audience {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}

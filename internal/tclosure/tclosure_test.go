@@ -1,0 +1,230 @@
+package tclosure
+
+import (
+	"math/rand"
+	"testing"
+
+	"reachac/internal/graph"
+	"reachac/internal/paperfix"
+	"reachac/internal/pathexpr"
+	"reachac/internal/search"
+)
+
+func node(t *testing.T, g *graph.Graph, name string) graph.NodeID {
+	t.Helper()
+	id, ok := g.NodeByName(name)
+	if !ok {
+		t.Fatalf("node %q missing", name)
+	}
+	return id
+}
+
+func TestQ1OnPaperGraph(t *testing.T) {
+	g := paperfix.Graph()
+	e := New(g)
+	alice := node(t, g, paperfix.Alice)
+	for _, name := range paperfix.Names[1:] {
+		want := false
+		for _, w := range paperfix.Q1Grantees {
+			if w == name {
+				want = true
+			}
+		}
+		got, err := e.Reachable(alice, node(t, g, name), paperfix.Q1())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("Q1 grant for %s = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestAgreementWithOracle(t *testing.T) {
+	g := paperfix.Graph()
+	e := New(g)
+	oracle := search.New(g)
+	queries := []string{
+		"friend+[1,2]/colleague+[1]",
+		"friend+[1]/parent+[1]/friend+[1]",
+		"friend-[1]",
+		"friend*[1,3]",
+		"friend+[3]",
+		"friend+[1,*]",
+		"friend*[2,*]",
+		"parent-[1]/colleague-[1]",
+		"colleague+[1]/friend+[1,2]",
+	}
+	for _, q := range queries {
+		p := pathexpr.MustParse(q)
+		for _, o := range paperfix.Names {
+			for _, r := range paperfix.Names {
+				oid, rid := node(t, g, o), node(t, g, r)
+				want, err := oracle.Reachable(oid, rid, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := e.Reachable(oid, rid, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("(%s,%s,%s) closure=%v oracle=%v", o, r, q, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAgreementRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	labels := []string{"friend", "colleague", "parent"}
+	queries := []string{
+		"friend+[1,3]",
+		"friend+[1]/colleague+[1]",
+		"friend-[2]",
+		"friend*[1,2]/parent*[1]",
+		"colleague+[1,*]",
+		"friend+[2,*]/parent+[1]",
+		"friend+[1,2]{age>=18}",
+	}
+	for trial := 0; trial < 12; trial++ {
+		n := 4 + rng.Intn(14)
+		g := graph.New()
+		for i := 0; i < n; i++ {
+			var attrs graph.Attrs
+			if rng.Intn(2) == 0 {
+				attrs = graph.Attrs{"age": graph.Int(10 + rng.Intn(50))}
+			}
+			g.MustAddNode(nameOf(i), attrs)
+		}
+		for i := 0; i < n*3; i++ {
+			u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			if u != v {
+				_, _ = g.AddEdge(u, v, labels[rng.Intn(len(labels))])
+			}
+		}
+		e := New(g)
+		oracle := search.New(g)
+		for _, q := range queries {
+			p := pathexpr.MustParse(q)
+			for o := 0; o < n; o++ {
+				for r := 0; r < n; r++ {
+					oid, rid := graph.NodeID(o), graph.NodeID(r)
+					want, err := oracle.Reachable(oid, rid, p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := e.Reachable(oid, rid, p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != want {
+						t.Fatalf("trial %d: (%d,%d,%s) closure=%v oracle=%v", trial, o, r, q, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func nameOf(i int) string {
+	return "u" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+func TestUnknownLabelDenies(t *testing.T) {
+	g := paperfix.Graph()
+	e := New(g)
+	ok, err := e.Reachable(0, 1, pathexpr.MustParse("enemy+[1]"))
+	if err != nil || ok {
+		t.Fatalf("unknown label: %v %v", ok, err)
+	}
+	// Known label, absent direction matrix cannot happen (both built), but
+	// '*' on a label with only one direction built still works.
+}
+
+func TestInvalidInputs(t *testing.T) {
+	g := paperfix.Graph()
+	e := New(g)
+	if _, err := e.Reachable(99, 0, paperfix.Q1()); err == nil {
+		t.Fatal("invalid owner accepted")
+	}
+	if _, err := e.Reachable(0, 1, &pathexpr.Path{}); err == nil {
+		t.Fatal("invalid path accepted")
+	}
+}
+
+func TestMaterializeClosuresAndBytes(t *testing.T) {
+	g := paperfix.Graph()
+	e := New(g)
+	before := e.Bytes()
+	if before <= 0 {
+		t.Fatal("Bytes not positive after adjacency build")
+	}
+	e.MaterializeClosures()
+	after := e.Bytes()
+	if after <= before {
+		t.Fatalf("closure materialization did not grow size: %d -> %d", before, after)
+	}
+}
+
+func TestUnboundedViaClosure(t *testing.T) {
+	// Long chain: friend+[1,*] must reach the end; closure path exercised.
+	g := graph.New()
+	const n = 80
+	var ids []graph.NodeID
+	for i := 0; i < n; i++ {
+		ids = append(ids, g.MustAddNode(nameOf(i), nil))
+	}
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(ids[i], ids[i+1], "friend")
+	}
+	e := New(g)
+	ok, err := e.Reachable(ids[0], ids[n-1], pathexpr.MustParse("friend+[1,*]"))
+	if err != nil || !ok {
+		t.Fatalf("unbounded chain: %v %v", ok, err)
+	}
+	ok, err = e.Reachable(ids[0], ids[n-1], pathexpr.MustParse("friend+[80,*]"))
+	if err != nil || ok {
+		t.Fatalf("min depth beyond chain matched: %v %v", ok, err)
+	}
+	// Incoming unbounded from the far end.
+	ok, err = e.Reachable(ids[n-1], ids[0], pathexpr.MustParse("friend-[1,*]"))
+	if err != nil || !ok {
+		t.Fatalf("unbounded incoming chain: %v %v", ok, err)
+	}
+}
+
+func TestBitsetOps(t *testing.T) {
+	b := newBitset(130)
+	b.set(0)
+	b.set(64)
+	b.set(129)
+	if !b.get(0) || !b.get(64) || !b.get(129) || b.get(1) {
+		t.Fatal("set/get broken")
+	}
+	if b.count() != 3 {
+		t.Fatalf("count = %d", b.count())
+	}
+	c := b.clone()
+	c.set(5)
+	if b.get(5) {
+		t.Fatal("clone aliases")
+	}
+	o := newBitset(130)
+	o.set(1)
+	b.orWith(o)
+	if !b.get(1) {
+		t.Fatal("orWith broken")
+	}
+	b.andWith(o)
+	if b.get(0) || !b.get(1) || b.count() != 1 {
+		t.Fatal("andWith broken")
+	}
+	if b.empty() {
+		t.Fatal("empty false positive")
+	}
+	if !newBitset(10).empty() {
+		t.Fatal("empty false negative")
+	}
+}

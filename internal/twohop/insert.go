@@ -1,0 +1,94 @@
+package twohop
+
+import "reachac/internal/digraph"
+
+// Insert updates the cover after edge (u, v) was added to the digraph,
+// without a full recomputation, following the resume-BFS scheme of dynamic
+// 2-hop maintenance: the new edge creates exactly the pairs (a, b) with
+// a ⇝ u and v ⇝ b, and every such pair is covered by resuming the pruned
+// BFS of (i) each center that reaches u, forward from v, and (ii) each
+// center reachable from v, backward from u.
+//
+// Soundness: a rank r is added to In(t) only when center(r) ⇝ u → v ⇝ t,
+// and to Out(t) only when t ⇝ u → v ⇝ center(r). Completeness follows the
+// standard argument: for a new pair (a, b), the maximum-rank vertex w on a
+// witnessing walk lies on the a-side or the v-side; in either case
+// w ∈ In(u) (resp. w ∈ Out(v)) already held, so its resumed BFS labels the
+// other endpoint, and pruning cannot fire along the walk without
+// contradicting w's maximality (the same contradiction as in the static
+// construction).
+//
+// d must already contain the new edge; rev must be its reverse (callers
+// maintaining both views pass them in to avoid re-deriving the reverse on
+// every insertion). Edge deletions are not supported incrementally —
+// labels would have to shrink — and require a rebuild.
+func (c *Cover) Insert(d, rev *digraph.D, u, v int) {
+	// Forward: every center that reaches u now also reaches v's cone.
+	for _, r := range append([]int32(nil), c.in[u]...) {
+		c.resume(d, r, v, true)
+	}
+	// Backward: every center reachable from v is now reachable from u's
+	// ancestors.
+	for _, r := range append([]int32(nil), c.out[v]...) {
+		c.resume(rev, r, u, false)
+	}
+}
+
+// resume runs the pruned BFS of center rank r from start over adj, adding r
+// to In (forward) or Out (backward) of every newly covered vertex.
+func (c *Cover) resume(adj *digraph.D, r int32, start int, forward bool) {
+	root := int(c.rankToVertex[r])
+	side := c.out
+	if forward {
+		side = c.in
+	}
+	covered := func(t int) bool {
+		if t == root {
+			return true
+		}
+		if forward {
+			return intersects(c.out[root], c.in[t])
+		}
+		return intersects(c.out[t], c.in[root])
+	}
+	if covered(start) {
+		return
+	}
+	seen := map[int]bool{start: true}
+	queue := []int{start}
+	side[start] = insertRank(side[start], r)
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		for _, w := range adj.Succ(t) {
+			wi := int(w)
+			if seen[wi] || covered(wi) {
+				continue
+			}
+			seen[wi] = true
+			side[wi] = insertRank(side[wi], r)
+			queue = append(queue, wi)
+		}
+	}
+}
+
+// insertRank inserts r into an ascending rank slice, keeping it sorted and
+// duplicate-free.
+func insertRank(s []int32, r int32) []int32 {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s) && s[lo] == r {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[lo+1:], s[lo:])
+	s[lo] = r
+	return s
+}

@@ -1,0 +1,148 @@
+package twohop
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"reachac/internal/digraph"
+)
+
+// mirror maintains a digraph and its reverse together.
+type mirror struct {
+	d, rev *digraph.D
+}
+
+func newMirror(n int) *mirror {
+	return &mirror{d: digraph.New(n), rev: digraph.New(n)}
+}
+
+func (m *mirror) add(u, v int) {
+	m.d.AddEdge(u, v)
+	m.rev.AddEdge(v, u)
+}
+
+func TestInsertSingleEdge(t *testing.T) {
+	// Two chains; an inserted bridge connects them.
+	m := newMirror(6)
+	m.add(0, 1)
+	m.add(1, 2)
+	m.add(3, 4)
+	m.add(4, 5)
+	c := Pruned(m.d)
+	if c.Reachable(0, 5) {
+		t.Fatal("phantom cross-chain reachability")
+	}
+	m.add(2, 3)
+	c.Insert(m.d, m.rev, 2, 3)
+	checkCover(t, m.d, c)
+	if !c.Reachable(0, 5) {
+		t.Fatal("bridge not covered after Insert")
+	}
+}
+
+func TestInsertSequenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(15)
+		m := newMirror(n)
+		// Seed graph.
+		for i := 0; i < n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			m.add(u, v)
+		}
+		c := Pruned(m.d)
+		// Incrementally add edges, checking full correctness after each.
+		for step := 0; step < n; step++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			m.add(u, v)
+			c.Insert(m.d, m.rev, u, v)
+			checkCover(t, m.d, c)
+		}
+	}
+}
+
+func TestInsertQuick(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(sz)%20
+		m := newMirror(n)
+		for i := 0; i < n; i++ {
+			m.add(rng.Intn(n), rng.Intn(n))
+		}
+		c := Pruned(m.d)
+		for step := 0; step < 8; step++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			m.add(u, v)
+			c.Insert(m.d, m.rev, u, v)
+		}
+		for u := 0; u < n; u++ {
+			set := m.d.ReachableSet(u)
+			for v := 0; v < n; v++ {
+				if c.Reachable(u, v) != set[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertAlreadyCoveredIsNoop(t *testing.T) {
+	m := newMirror(3)
+	m.add(0, 1)
+	m.add(1, 2)
+	c := Pruned(m.d)
+	before := c.Size()
+	// 0 -> 2 adds no new reachability.
+	m.add(0, 2)
+	c.Insert(m.d, m.rev, 0, 2)
+	checkCover(t, m.d, c)
+	if c.Size() != before {
+		t.Fatalf("covered insert grew labels: %d -> %d", before, c.Size())
+	}
+}
+
+func TestInsertKeepsLabelsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := 25
+	m := newMirror(n)
+	for i := 0; i < n*2; i++ {
+		m.add(rng.Intn(n), rng.Intn(n))
+	}
+	c := Pruned(m.d)
+	for step := 0; step < 15; step++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		m.add(u, v)
+		c.Insert(m.d, m.rev, u, v)
+	}
+	for v := 0; v < n; v++ {
+		for _, lbl := range [][]int32{c.InLabel(v), c.OutLabel(v)} {
+			for i := 1; i < len(lbl); i++ {
+				if lbl[i-1] >= lbl[i] {
+					t.Fatalf("vertex %d labels unsorted after inserts: %v", v, lbl)
+				}
+			}
+		}
+	}
+}
+
+func TestInsertRank(t *testing.T) {
+	s := []int32{1, 3, 5}
+	s = insertRank(s, 4)
+	s = insertRank(s, 0)
+	s = insertRank(s, 7)
+	s = insertRank(s, 4) // duplicate
+	want := []int32{0, 1, 3, 4, 5, 7}
+	if len(s) != len(want) {
+		t.Fatalf("insertRank = %v", s)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("insertRank = %v", s)
+		}
+	}
+}

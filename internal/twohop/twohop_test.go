@@ -1,0 +1,240 @@
+package twohop
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"reachac/internal/digraph"
+	"reachac/internal/linegraph"
+	"reachac/internal/paperfix"
+	"reachac/internal/scc"
+)
+
+func randomDigraph(rng *rand.Rand, n, m int) *digraph.D {
+	d := digraph.New(n)
+	for i := 0; i < m; i++ {
+		d.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	return d
+}
+
+func randomDAG(rng *rand.Rand, n, density int) *digraph.D {
+	d := digraph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Intn(density) == 0 {
+				d.AddEdge(u, v)
+			}
+		}
+	}
+	return d
+}
+
+func checkCover(t *testing.T, d *digraph.D, c *Cover) {
+	t.Helper()
+	for u := 0; u < d.N(); u++ {
+		set := d.ReachableSet(u)
+		for v := 0; v < d.N(); v++ {
+			want := set[v]
+			if got := c.Reachable(u, v); got != want {
+				t.Fatalf("cover Reachable(%d,%d) = %v, BFS says %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestGreedyChain(t *testing.T) {
+	d := digraph.New(6)
+	for i := 0; i < 5; i++ {
+		d.AddEdge(i, i+1)
+	}
+	c, err := Greedy(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCover(t, d, c)
+}
+
+func TestGreedyDiamondAndForest(t *testing.T) {
+	d := digraph.New(7)
+	d.AddEdge(0, 1)
+	d.AddEdge(0, 2)
+	d.AddEdge(1, 3)
+	d.AddEdge(2, 3)
+	d.AddEdge(4, 5) // separate component
+	c, err := Greedy(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCover(t, d, c)
+}
+
+func TestGreedyRandomDAGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		d := randomDAG(rng, 2+rng.Intn(20), 1+rng.Intn(4))
+		c, err := Greedy(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkCover(t, d, c)
+	}
+}
+
+func TestGreedyRejectsLarge(t *testing.T) {
+	if _, err := Greedy(digraph.New(GreedyLimit + 1)); err == nil {
+		t.Fatal("oversized graph accepted")
+	}
+}
+
+func TestGreedyOnPaperLineDAG(t *testing.T) {
+	g := paperfix.Graph()
+	l := linegraph.Build(g, linegraph.Opts{})
+	r := scc.Tarjan(l.D)
+	dag := scc.Condense(l.D, r)
+	c, err := Greedy(dag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCover(t, dag, c)
+	// The cover should be compact: no more centers than vertices, and far
+	// fewer label entries than the |V|^2 closure.
+	if c.NumCenters() > dag.N() {
+		t.Fatalf("centers = %d > |V| = %d", c.NumCenters(), dag.N())
+	}
+	if c.Size() >= dag.N()*dag.N() {
+		t.Fatalf("cover size %d not better than closure %d", c.Size(), dag.N()*dag.N())
+	}
+}
+
+func TestPrunedChainCycleMix(t *testing.T) {
+	// 0 <-> 1 cycle feeding a chain.
+	d := digraph.New(5)
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 0)
+	d.AddEdge(1, 2)
+	d.AddEdge(2, 3)
+	d.AddEdge(3, 4)
+	checkCover(t, d, Pruned(d))
+}
+
+func TestPrunedRandomDigraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(30)
+		d := randomDigraph(rng, n, rng.Intn(n*3))
+		checkCover(t, d, Pruned(d))
+	}
+}
+
+func TestPrunedQuick(t *testing.T) {
+	f := func(seed int64, sz, density uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(sz)%30
+		d := randomDigraph(rng, n, int(density)%(n*3+1))
+		c := Pruned(d)
+		for u := 0; u < n; u++ {
+			set := d.ReachableSet(u)
+			for v := 0; v < n; v++ {
+				if c.Reachable(u, v) != set[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrunedLabelsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	d := randomDigraph(rng, 40, 100)
+	c := Pruned(d)
+	for v := 0; v < c.N(); v++ {
+		for _, lbl := range [][]int32{c.InLabel(v), c.OutLabel(v)} {
+			for i := 1; i < len(lbl); i++ {
+				if lbl[i-1] >= lbl[i] {
+					t.Fatalf("vertex %d labels unsorted: %v", v, lbl)
+				}
+			}
+		}
+	}
+}
+
+func TestPrunedSelfLabels(t *testing.T) {
+	d := digraph.New(3)
+	d.AddEdge(0, 1)
+	c := Pruned(d)
+	if !c.Reachable(2, 2) || !c.Reachable(0, 0) {
+		t.Fatal("self reachability broken")
+	}
+	if c.Reachable(1, 0) {
+		t.Fatal("phantom reverse reachability")
+	}
+}
+
+func TestPrunedSmallerThanClosureOnSocialShape(t *testing.T) {
+	// Preferential-attachment-ish DAG: later vertices attach to earlier,
+	// popular ones. Pruned labels should be much smaller than n^2.
+	rng := rand.New(rand.NewSource(44))
+	n := 300
+	d := digraph.New(n)
+	for v := 1; v < n; v++ {
+		for k := 0; k < 3; k++ {
+			u := rng.Intn(v)
+			d.AddEdge(u, v)
+		}
+	}
+	c := Pruned(d)
+	if c.Size() >= n*n/4 {
+		t.Fatalf("pruned cover size %d too large (n^2 = %d)", c.Size(), n*n)
+	}
+	// Sample-check correctness.
+	for trial := 0; trial < 50; trial++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if c.Reachable(u, v) != d.Reachable(u, v) {
+			t.Fatalf("sample (%d,%d) disagrees", u, v)
+		}
+	}
+}
+
+func TestCenterVertexMapping(t *testing.T) {
+	d := digraph.New(4)
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 2)
+	d.AddEdge(2, 3)
+	c := Pruned(d)
+	if c.NumCenters() != 4 {
+		t.Fatalf("pruned centers = %d, want n", c.NumCenters())
+	}
+	seen := map[int]bool{}
+	for r := int32(0); int(r) < c.NumCenters(); r++ {
+		v := c.CenterVertex(r)
+		if v < 0 || v >= 4 || seen[v] {
+			t.Fatalf("CenterVertex(%d) = %d invalid", r, v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestGreedyAndPrunedAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 15; trial++ {
+		d := randomDAG(rng, 2+rng.Intn(18), 2)
+		gc, err := Greedy(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc := Pruned(d)
+		for u := 0; u < d.N(); u++ {
+			for v := 0; v < d.N(); v++ {
+				if gc.Reachable(u, v) != pc.Reachable(u, v) {
+					t.Fatalf("trial %d: greedy/pruned disagree at (%d,%d)", trial, u, v)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Package workload generates deterministic query and request workloads for
+// the E-series experiments: a catalog of policy shapes drawn from the
+// paper's motivating examples, reachability-biased ("hit") owner/requester
+// pairs sampled by bounded random walks, and uniform ("miss"-heavy) pairs.
+package workload
+
+import (
+	"math/rand"
+
+	"reachac/internal/graph"
+	"reachac/internal/pathexpr"
+)
+
+// QuerySpec is a named policy path shape.
+type QuerySpec struct {
+	Name string
+	Path *pathexpr.Path
+}
+
+// DefaultCatalog returns the five policy shapes used across E2–E4, modeled
+// on the audiences the paper's introduction motivates ("only my family and
+// my friends", "my children and their friends", "colleagues of my friends",
+// "those who consider me a friend", "friends of friends of friends").
+func DefaultCatalog() []QuerySpec {
+	return []QuerySpec{
+		{"friends", pathexpr.MustParse("friend+[1]")},
+		{"friends-of-friends", pathexpr.MustParse("friend+[1,2]")},
+		{"colleagues-of-friends", pathexpr.MustParse("friend+[1,2]/colleague+[1]")},
+		{"considers-me-friend", pathexpr.MustParse("friend-[1]")},
+		{"children-network", pathexpr.MustParse("parent+[1]/friend+[1,2]")},
+	}
+}
+
+// Pair is one owner/requester access pair.
+type Pair struct {
+	Owner, Requester graph.NodeID
+}
+
+// HitPairs samples n pairs where the requester was reached from the owner
+// by a random forward walk of 1..maxRadius edges, so that typical policies
+// have a good chance of matching (the E2 "hit" workload).
+func HitPairs(g *graph.Graph, n, maxRadius int, seed int64) []Pair {
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([]Pair, 0, n)
+	nodes := g.NumNodes()
+	if nodes == 0 {
+		return pairs
+	}
+	for len(pairs) < n {
+		owner := graph.NodeID(rng.Intn(nodes))
+		cur := owner
+		steps := 1 + rng.Intn(maxRadius)
+		ok := true
+		for s := 0; s < steps; s++ {
+			var outs []graph.NodeID
+			g.OutEdges(cur, func(e graph.Edge) bool {
+				outs = append(outs, e.To)
+				return true
+			})
+			if len(outs) == 0 {
+				ok = false
+				break
+			}
+			cur = outs[rng.Intn(len(outs))]
+		}
+		if !ok || cur == owner {
+			continue
+		}
+		pairs = append(pairs, Pair{owner, cur})
+	}
+	return pairs
+}
+
+// RandomPairs samples n uniform owner/requester pairs; on sparse labeled
+// graphs most such pairs fail selective policies (the E3 "miss" workload).
+func RandomPairs(g *graph.Graph, n int, seed int64) []Pair {
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([]Pair, 0, n)
+	nodes := g.NumNodes()
+	for len(pairs) < n {
+		o := graph.NodeID(rng.Intn(nodes))
+		r := graph.NodeID(rng.Intn(nodes))
+		if o == r {
+			continue
+		}
+		pairs = append(pairs, Pair{o, r})
+	}
+	return pairs
+}
+
+// Request is one simulated access request: a requester asks for a resource
+// slot of an owner, to be checked against query q of the catalog.
+type Request struct {
+	Pair
+	Query int
+}
+
+// Requests builds a request stream with zipf-distributed requester
+// popularity (a few heavy accessors, a long tail) over hit-biased pairs.
+func Requests(g *graph.Graph, n int, catalog int, seed int64) []Request {
+	rng := rand.New(rand.NewSource(seed))
+	nodes := g.NumNodes()
+	zipf := rand.NewZipf(rng, 1.2, 1.0, uint64(nodes-1))
+	base := HitPairs(g, n, 3, seed+1)
+	out := make([]Request, n)
+	for i := range out {
+		p := base[i%len(base)]
+		// Replace the requester with a zipf-popular member half the time to
+		// model hot accessors probing many resources.
+		if rng.Intn(2) == 0 {
+			p.Requester = graph.NodeID(zipf.Uint64())
+			if p.Requester == p.Owner {
+				p.Requester = graph.NodeID((uint64(p.Requester) + 1) % uint64(nodes))
+			}
+		}
+		out[i] = Request{Pair: p, Query: rng.Intn(catalog)}
+	}
+	return out
+}

@@ -1,0 +1,393 @@
+package reachac
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"reachac/internal/core"
+	"reachac/internal/graph"
+	"reachac/internal/joinindex"
+	"reachac/internal/pathexpr"
+	"reachac/internal/search"
+	"reachac/internal/tclosure"
+)
+
+// UserID identifies a member of the network.
+type UserID = graph.NodeID
+
+// Decision is the outcome of an access check (see core.Decision).
+type Decision = core.Decision
+
+// Decision effects, re-exported for callers.
+const (
+	Deny  = core.Deny
+	Allow = core.Allow
+)
+
+// Attr is one user attribute for AddUser.
+type Attr struct {
+	Key string
+	Val graph.Value
+}
+
+// StringAttr builds a string-valued attribute.
+func StringAttr(k, v string) Attr { return Attr{k, graph.String(v)} }
+
+// IntAttr builds a numeric attribute from an int.
+func IntAttr(k string, v int) Attr { return Attr{k, graph.Int(v)} }
+
+// NumberAttr builds a numeric attribute.
+func NumberAttr(k string, v float64) Attr { return Attr{k, graph.Number(v)} }
+
+// BoolAttr builds a boolean attribute.
+func BoolAttr(k string, v bool) Attr { return Attr{k, graph.Bool(v)} }
+
+// EngineKind selects the reachability evaluator backing access decisions.
+type EngineKind int
+
+// Available engines.
+const (
+	// Online evaluates each query with a constrained BFS over the graph —
+	// no precomputation, O(V+E) per query (the paper's §1 baseline).
+	Online EngineKind = iota
+	// OnlineDFS is Online with depth-first exploration.
+	OnlineDFS
+	// OnlineAdaptive is Online with endpoint selection: the search starts
+	// from whichever of owner/requester admits fewer seed edges, using the
+	// reversed pattern when the requester side is cheaper.
+	OnlineAdaptive
+	// Closure precomputes per-label adjacency/closure bitsets — fast
+	// queries, O(V²)-ish space (the paper's other §1 baseline).
+	Closure
+	// Index is the paper's cluster-based join index (§3) with the anchored
+	// evaluation strategy.
+	Index
+	// IndexPaperJoin is the index with the literal §3.3 reachability-join
+	// strategy (for studying the paper's own evaluation plan).
+	IndexPaperJoin
+)
+
+func (k EngineKind) String() string {
+	switch k {
+	case Online:
+		return "online-bfs"
+	case OnlineDFS:
+		return "online-dfs"
+	case OnlineAdaptive:
+		return "online-adaptive"
+	case Closure:
+		return "closure"
+	case Index:
+		return "join-index"
+	case IndexPaperJoin:
+		return "join-index-paper"
+	default:
+		return fmt.Sprintf("EngineKind(%d)", int(k))
+	}
+}
+
+// Evaluator answers reachability queries; see core.Evaluator.
+type Evaluator = core.Evaluator
+
+// Network is a social graph with privacy policies and an enforcement
+// engine. The zero value is not usable; call New. All methods are safe for
+// concurrent use, except that mutations concurrent with access checks
+// serialize on an internal lock.
+type Network struct {
+	mu     sync.Mutex
+	g      *graph.Graph
+	store  *core.Store
+	kind   EngineKind
+	eval   Evaluator
+	engine *core.Engine
+	// built is the graph.Version the current evaluator was built at;
+	// evaluators are rebuilt lazily when the graph has mutated since (also
+	// catching mutations made directly through the Graph() handle).
+	built uint64
+}
+
+// New returns an empty network using the Online engine.
+func New() *Network {
+	n := &Network{g: graph.New(), store: core.NewStore(), kind: Online}
+	return n
+}
+
+// AddUser adds a member with optional attributes and returns their ID.
+func (n *Network) AddUser(name string, attrs ...Attr) (UserID, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var a graph.Attrs
+	if len(attrs) > 0 {
+		a = make(graph.Attrs, len(attrs))
+		for _, at := range attrs {
+			a[at.Key] = at.Val
+		}
+	}
+	return n.g.AddNode(name, a)
+}
+
+// MustAddUser is AddUser panicking on error, for examples and tests.
+func (n *Network) MustAddUser(name string, attrs ...Attr) UserID {
+	id, err := n.AddUser(name, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// UserID resolves a member name.
+func (n *Network) UserID(name string) (UserID, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.g.NodeByName(name)
+}
+
+// UserName returns the name of a member.
+func (n *Network) UserName(id UserID) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.g.Node(id).Name
+}
+
+// Relate adds a directed typed relationship.
+func (n *Network) Relate(from, to UserID, relType string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, err := n.g.AddEdge(from, to, relType)
+	return err
+}
+
+// RelateMutual adds the relationship in both directions (e.g. friendship on
+// symmetric networks).
+func (n *Network) RelateMutual(a, b UserID, relType string) error {
+	if err := n.Relate(a, b, relType); err != nil {
+		return err
+	}
+	return n.Relate(b, a, relType)
+}
+
+// Unrelate removes a relationship; it is an error if absent.
+func (n *Network) Unrelate(from, to UserID, relType string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l, ok := n.g.LookupLabel(relType)
+	if !ok {
+		return fmt.Errorf("reachac: unknown relationship type %q", relType)
+	}
+	e := n.g.FindEdge(from, to, l)
+	if e == graph.InvalidEdge {
+		return fmt.Errorf("reachac: no %s relationship %d -> %d", relType, from, to)
+	}
+	return n.g.RemoveEdge(e)
+}
+
+// NumUsers returns the member count.
+func (n *Network) NumUsers() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.g.NumNodes()
+}
+
+// NumRelationships returns the live relationship count.
+func (n *Network) NumRelationships() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.g.NumEdges()
+}
+
+// Save serializes the social graph (not the policies) to w.
+func (n *Network) Save(w io.Writer) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.g.Write(w)
+}
+
+// Load reads a social graph serialized by Save into a fresh network.
+func Load(r io.Reader) (*Network, error) {
+	g, err := graph.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{g: g, store: core.NewStore(), kind: Online}, nil
+}
+
+// FromGraph wraps an existing social graph (used by the command-line tools
+// and benchmarks; the graph must not be mutated externally afterwards).
+func FromGraph(g *graph.Graph) *Network {
+	return &Network{g: g, store: core.NewStore(), kind: Online}
+}
+
+// Graph exposes the underlying graph for read-only inspection.
+func (n *Network) Graph() *graph.Graph { return n.g }
+
+// Store exposes the policy store.
+func (n *Network) Store() *core.Store { return n.store }
+
+// UseEngine selects the evaluator kind for subsequent access checks. Index
+// engines are (re)built immediately; an error leaves the previous engine in
+// place.
+func (n *Network) UseEngine(kind EngineKind) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.kind = kind
+	n.eval = nil
+	n.engine = nil
+	return n.ensureEngineLocked()
+}
+
+// EngineKind reports the selected engine.
+func (n *Network) EngineKind() EngineKind {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.kind
+}
+
+func (n *Network) ensureEngineLocked() error {
+	if n.eval != nil && n.built == n.g.Version() {
+		return nil
+	}
+	var eval Evaluator
+	switch n.kind {
+	case Online:
+		eval = search.New(n.g)
+	case OnlineDFS:
+		eval = search.NewDFS(n.g)
+	case OnlineAdaptive:
+		eval = search.NewAdaptive(n.g)
+	case Closure:
+		eval = tclosure.New(n.g)
+	case Index:
+		idx, err := joinindex.Build(n.g, joinindex.Options{})
+		if err != nil {
+			return fmt.Errorf("reachac: building index: %w", err)
+		}
+		eval = idx
+	case IndexPaperJoin:
+		idx, err := joinindex.Build(n.g, joinindex.Options{Strategy: joinindex.EvalPaperJoin})
+		if err != nil {
+			return fmt.Errorf("reachac: building index: %w", err)
+		}
+		eval = idx
+	default:
+		return fmt.Errorf("reachac: unknown engine kind %d", int(n.kind))
+	}
+	n.eval = eval
+	n.built = n.g.Version()
+	n.engine = core.NewEngine(n.store, eval, 0)
+	return nil
+}
+
+// Share registers resource to owner (if new) and attaches one access rule
+// whose conditions are the given path expressions, ALL of which a requester
+// must satisfy. Calling Share again on the same resource adds an
+// alternative rule (any valid rule grants access). It returns the rule ID.
+func (n *Network) Share(resource string, owner UserID, paths ...string) (string, error) {
+	if len(paths) == 0 {
+		return "", fmt.Errorf("reachac: Share needs at least one path expression")
+	}
+	conds := make([]core.Condition, len(paths))
+	for i, s := range paths {
+		p, err := pathexpr.Parse(s)
+		if err != nil {
+			return "", err
+		}
+		conds[i] = core.Condition{Path: p}
+	}
+	if err := n.store.Register(core.ResourceID(resource), owner); err != nil {
+		return "", err
+	}
+	rule := &core.Rule{Resource: core.ResourceID(resource), Owner: owner, Conditions: conds}
+	if err := n.store.AddRule(rule); err != nil {
+		return "", err
+	}
+	return rule.ID, nil
+}
+
+// Revoke removes a rule from a resource; it reports whether it existed.
+func (n *Network) Revoke(resource, ruleID string) bool {
+	return n.store.RemoveRule(core.ResourceID(resource), ruleID)
+}
+
+// CanAccess decides whether requester may access resource under the current
+// policies, using the selected engine (rebuilding it if the graph changed).
+func (n *Network) CanAccess(resource string, requester UserID) (Decision, error) {
+	n.mu.Lock()
+	if err := n.ensureEngineLocked(); err != nil {
+		n.mu.Unlock()
+		return Decision{}, err
+	}
+	engine := n.engine
+	n.mu.Unlock()
+	return engine.Decide(core.ResourceID(resource), requester)
+}
+
+// CheckPath answers a raw reachability question: does a path matching expr
+// lead from owner to requester?
+func (n *Network) CheckPath(owner, requester UserID, expr string) (bool, error) {
+	p, err := pathexpr.Parse(expr)
+	if err != nil {
+		return false, err
+	}
+	n.mu.Lock()
+	if err := n.ensureEngineLocked(); err != nil {
+		n.mu.Unlock()
+		return false, err
+	}
+	eval := n.eval
+	n.mu.Unlock()
+	return eval.Reachable(owner, requester, p)
+}
+
+// Audit returns the retained decision trail of the current engine.
+func (n *Network) Audit() []Decision {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.engine == nil {
+		return nil
+	}
+	return n.engine.Audit()
+}
+
+// ParsePath validates a path expression, returning its canonical form.
+func ParsePath(expr string) (string, error) {
+	p, err := pathexpr.Parse(expr)
+	if err != nil {
+		return "", err
+	}
+	return p.String(), nil
+}
+
+// SavePolicies serializes the policy store (resources, owners, rules) to w.
+// Together with Save this persists the whole network state.
+func (n *Network) SavePolicies(w io.Writer) error {
+	return n.store.Write(w)
+}
+
+// LoadPolicies replaces the network's policy store with one read from r.
+// Rule owners are validated against the current graph.
+func (n *Network) LoadPolicies(r io.Reader) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	store, err := core.ReadStore(r, n.g)
+	if err != nil {
+		return err
+	}
+	n.store = store
+	n.engine = nil // rebuilt against the new store on next access
+	n.eval = nil
+	return nil
+}
+
+// Audience enumerates every user granted access to resource by its current
+// rules (excluding the owner, who always has access).
+func (n *Network) Audience(resource string) ([]UserID, error) {
+	n.mu.Lock()
+	if err := n.ensureEngineLocked(); err != nil {
+		n.mu.Unlock()
+		return nil, err
+	}
+	eval := n.eval
+	n.mu.Unlock()
+	return n.store.Audience(core.ResourceID(resource), n.g, eval)
+}
