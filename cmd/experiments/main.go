@@ -7,10 +7,12 @@
 //	E4  policy enforcement throughput (OSN simulation)
 //	E5  ablations: W-table pruning, reachability look-ahead
 //	E6  space: join index vs per-label closure matrices vs raw graph
+//	E7  comparison with the Carminati et al. rule-based baseline
+//	E8  snapshot-isolated concurrent access-check throughput
 //
 // Usage:
 //
-//	experiments [-run all|E1|...|E6] [-full] [-seed N]
+//	experiments [-run all|E1|...|E8] [-full] [-seed N]
 //
 // -full extends the size sweep to 25k and 50k members (slower).
 package main
@@ -20,8 +22,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"sync"
 	"time"
 
+	"reachac"
 	"reachac/internal/benchutil"
 	"reachac/internal/carminati"
 	"reachac/internal/core"
@@ -47,10 +52,10 @@ func main() {
 	flag.Parse()
 
 	exps := map[string]func(){
-		"E1": e1, "E2": e2, "E3": e3, "E4": e4, "E5": e5, "E6": e6, "E7": e7,
+		"E1": e1, "E2": e2, "E3": e3, "E4": e4, "E5": e5, "E6": e6, "E7": e7, "E8": e8,
 	}
 	if *run == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"} {
 			exps[id]()
 			fmt.Println()
 		}
@@ -58,7 +63,7 @@ func main() {
 	}
 	f, ok := exps[*run]
 	if !ok {
-		log.Fatalf("unknown experiment %q (have all, E1..E7)", *run)
+		log.Fatalf("unknown experiment %q (have all, E1..E8)", *run)
 	}
 	f()
 }
@@ -403,4 +408,87 @@ func e7() {
 			benchutil.Dur(carmTime), benchutil.Dur(pathTime))
 	}
 	tbl2.Fprint(os.Stdout)
+}
+
+// e8 measures concurrent access-check throughput through the facade: W
+// worker goroutines share one snapshot-isolated network and hammer reads.
+// "cached" is CanAccess over a small requester pool (served by the
+// per-snapshot decision cache after the first lap); "uncached" is CheckPath,
+// which re-evaluates the path expression on every call. With the old global
+// mutex both columns plateaued at the 1-worker rate; snapshot isolation
+// scales them with GOMAXPROCS.
+func e8() {
+	fmt.Println("E8: snapshot-isolated concurrent access-check throughput, 5k social graph, join-index engine")
+	g := makeGraph(5000, "social")
+	net := reachac.FromGraph(g)
+	owner, _ := net.UserID("u000010")
+	if _, err := net.Share("r", owner, "friend+[1,2]"); err != nil {
+		log.Fatal(err)
+	}
+	if err := net.UseEngine(reachac.Index); err != nil {
+		log.Fatal(err)
+	}
+	pairs := workload.HitPairs(g, 512, 2, *seed+9)
+	// Publish the snapshot and warm the decision cache outside the timers.
+	for _, pr := range pairs {
+		if _, err := net.CanAccess("r", pr.Requester); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	throughput := func(workers, totalOps int, op func(i int) error) float64 {
+		per := totalOps / workers
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					if err := op(w*per + i); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		return float64(per*workers) / time.Since(start).Seconds()
+	}
+
+	tbl := benchutil.NewTable("workers", "cached CanAccess/s", "uncached CheckPath/s", "CanAccessAll dec/s")
+	allReqs := make([]reachac.UserID, g.NumNodes())
+	for i := range allReqs {
+		allReqs[i] = reachac.UserID(i)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		if workers > 2*runtime.GOMAXPROCS(0) {
+			break
+		}
+		cached := throughput(workers, 400000, func(i int) error {
+			_, err := net.CanAccess("r", pairs[i%len(pairs)].Requester)
+			return err
+		})
+		uncached := throughput(workers, 40000, func(i int) error {
+			p := pairs[i%len(pairs)]
+			_, err := net.CheckPath(p.Owner, p.Requester, "friend+[1,2]")
+			return err
+		})
+		// CanAccessAll sizes its own worker pool from GOMAXPROCS; report it
+		// once on the first row.
+		batch := ""
+		if workers == 1 {
+			start := time.Now()
+			const laps = 20
+			for l := 0; l < laps; l++ {
+				if _, err := net.CanAccessAll("r", allReqs); err != nil {
+					log.Fatal(err)
+				}
+			}
+			batch = benchutil.Count(int(float64(laps*len(allReqs)) / time.Since(start).Seconds()))
+		}
+		tbl.AddRow(fmt.Sprintf("%d", workers),
+			benchutil.Count(int(cached)), benchutil.Count(int(uncached)), batch)
+	}
+	tbl.Fprint(os.Stdout)
+	fmt.Printf("\nGOMAXPROCS=%d; worker counts beyond 2x available cores are skipped.\n", runtime.GOMAXPROCS(0))
 }

@@ -21,5 +21,11 @@
 //	d, _ := n.CanAccess("alice/photos", bob)
 //	fmt.Println(d.Effect) // allow
 //
+// All Network methods are safe for concurrent use. Access checks are
+// snapshot-isolated: they run lock-free against an immutable published
+// engine snapshot with a per-snapshot decision cache, so read throughput
+// scales with cores; CanAccessAll batches many requesters against one
+// consistent snapshot. See ARCHITECTURE.md for the publication protocol.
+//
 // See the examples/ directory for complete programs.
 package reachac

@@ -1,0 +1,3 @@
+module reachac
+
+go 1.24

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"reachac/internal/graph"
 	"reachac/internal/pathexpr"
@@ -87,6 +88,36 @@ type Store struct {
 	owners map[ResourceID]graph.NodeID
 	rules  map[ResourceID][]*Rule
 	nextID int
+	// gen counts policy mutations (registrations, rule additions and
+	// removals). Snapshot-isolated readers record it to detect staleness;
+	// it is atomic so the check needs no lock.
+	gen atomic.Uint64
+}
+
+// Generation returns the policy mutation counter: it changes whenever a
+// resource is registered or a rule is added or removed. Like
+// graph.Graph.Version it is safe to read concurrently with mutations.
+func (s *Store) Generation() uint64 { return s.gen.Load() }
+
+// Clone returns an independent copy of the store — a frozen policy view for
+// snapshot-isolated evaluation. Rule values are shared (they are immutable
+// once added); the per-resource rule slices and ownership map are copied, so
+// later mutations of s are invisible to the clone and vice versa.
+func (s *Store) Clone() *Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := &Store{
+		owners: make(map[ResourceID]graph.NodeID, len(s.owners)),
+		rules:  make(map[ResourceID][]*Rule, len(s.rules)),
+		nextID: s.nextID,
+	}
+	for r, o := range s.owners {
+		c.owners[r] = o
+	}
+	for r, rs := range s.rules {
+		c.rules[r] = append([]*Rule(nil), rs...)
+	}
+	return c
 }
 
 // NewStore returns an empty policy store.
@@ -105,7 +136,10 @@ func (s *Store) Register(res ResourceID, owner graph.NodeID) error {
 	if cur, ok := s.owners[res]; ok && cur != owner {
 		return fmt.Errorf("core: resource %q already owned by node %d", res, cur)
 	}
-	s.owners[res] = owner
+	if _, ok := s.owners[res]; !ok {
+		s.owners[res] = owner
+		s.gen.Add(1)
+	}
 	return nil
 }
 
@@ -142,6 +176,7 @@ func (s *Store) AddRule(r *Rule) error {
 		}
 	}
 	s.rules[r.Resource] = append(s.rules[r.Resource], r)
+	s.gen.Add(1)
 	return nil
 }
 
@@ -152,7 +187,15 @@ func (s *Store) RemoveRule(res ResourceID, ruleID string) bool {
 	rules := s.rules[res]
 	for i, r := range rules {
 		if r.ID == ruleID {
-			s.rules[res] = append(rules[:i], rules[i+1:]...)
+			// Copy instead of splicing in place. Not strictly required —
+			// Clone and RulesFor hand out their own slice copies — but it
+			// keeps old backing arrays immutable so no future reader can
+			// come to depend on that splice being private.
+			next := make([]*Rule, 0, len(rules)-1)
+			next = append(next, rules[:i]...)
+			next = append(next, rules[i+1:]...)
+			s.rules[res] = next
+			s.gen.Add(1)
 			return true
 		}
 	}
@@ -187,6 +230,7 @@ const (
 	Allow
 )
 
+// String renders the effect as "allow" or "deny".
 func (e Effect) String() string {
 	if e == Allow {
 		return "allow"
@@ -205,24 +249,64 @@ type Decision struct {
 	Reason string
 }
 
+// AuditLog is a bounded, concurrency-safe decision trail. It is shared by
+// pointer so that a trail survives engine rebuilds (e.g. snapshot
+// republication after a graph mutation).
+type AuditLog struct {
+	mu    sync.Mutex
+	trail []Decision
+	limit int
+}
+
+// NewAuditLog returns an audit log retaining at most limit decisions
+// (0 keeps the default of 1024 entries; negative disables auditing).
+func NewAuditLog(limit int) *AuditLog {
+	if limit == 0 {
+		limit = 1024
+	}
+	return &AuditLog{limit: limit}
+}
+
+// Record appends one decision, evicting the oldest beyond the limit.
+func (l *AuditLog) Record(d Decision) {
+	if l.limit < 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.trail = append(l.trail, d)
+	if len(l.trail) > l.limit {
+		l.trail = l.trail[len(l.trail)-l.limit:]
+	}
+}
+
+// Decisions returns a copy of the retained trail, oldest first.
+func (l *AuditLog) Decisions() []Decision {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Decision(nil), l.trail...)
+}
+
 // Engine intercepts access requests and decides them against a Store using
-// an Evaluator, keeping a bounded audit trail.
+// an Evaluator, keeping a bounded audit trail. Decide is safe for concurrent
+// use provided the Store and Evaluator are (a frozen Store clone and a
+// read-only evaluator in the snapshot-isolated configuration).
 type Engine struct {
 	store *Store
 	eval  Evaluator
-
-	mu         sync.Mutex
-	audit      []Decision
-	auditLimit int
+	log   *AuditLog
 }
 
 // NewEngine returns a decision engine. auditLimit bounds the retained audit
 // trail (0 keeps the default of 1024 entries; negative disables auditing).
 func NewEngine(store *Store, eval Evaluator, auditLimit int) *Engine {
-	if auditLimit == 0 {
-		auditLimit = 1024
-	}
-	return &Engine{store: store, eval: eval, auditLimit: auditLimit}
+	return NewEngineWithLog(store, eval, NewAuditLog(auditLimit))
+}
+
+// NewEngineWithLog returns a decision engine recording to an existing audit
+// log, so that several engine incarnations share one trail.
+func NewEngineWithLog(store *Store, eval Evaluator, log *AuditLog) *Engine {
+	return &Engine{store: store, eval: eval, log: log}
 }
 
 // Decide answers one access request: may requester access res?
@@ -266,21 +350,10 @@ func (e *Engine) Decide(res ResourceID, requester graph.NodeID) (Decision, error
 	return d, nil
 }
 
-func (e *Engine) record(d Decision) {
-	if e.auditLimit < 0 {
-		return
-	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.audit = append(e.audit, d)
-	if len(e.audit) > e.auditLimit {
-		e.audit = e.audit[len(e.audit)-e.auditLimit:]
-	}
-}
+func (e *Engine) record(d Decision) { e.log.Record(d) }
 
 // Audit returns a copy of the retained decision trail, oldest first.
-func (e *Engine) Audit() []Decision {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return append([]Decision(nil), e.audit...)
-}
+func (e *Engine) Audit() []Decision { return e.log.Decisions() }
+
+// Log returns the engine's audit log.
+func (e *Engine) Log() *AuditLog { return e.log }

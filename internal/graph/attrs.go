@@ -16,6 +16,7 @@ const (
 	KindBool
 )
 
+// String names the value kind for diagnostics.
 func (k Kind) String() string {
 	switch k {
 	case KindString:

@@ -12,6 +12,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // NodeID identifies a social network member. IDs are dense, starting at 0.
@@ -57,8 +58,11 @@ type Graph struct {
 	labels *labelTable
 	live   int // number of non-deleted edges
 	// version counts structural mutations (node/edge additions, edge
-	// removals); precomputed evaluators record it to detect staleness.
-	version uint64
+	// removals); precomputed evaluators record it to detect staleness. It
+	// is atomic so that snapshot validity checks may read it without
+	// holding the mutator's lock; all other fields still require external
+	// synchronization between mutators and readers.
+	version atomic.Uint64
 }
 
 // New returns an empty social network graph.
@@ -80,8 +84,9 @@ func (g *Graph) NumLabels() int { return g.labels.len() }
 
 // Version returns the structural mutation counter: it changes whenever a
 // node is added or an edge is added or removed. Indexes built over the
-// graph record it to detect staleness.
-func (g *Graph) Version() uint64 { return g.version }
+// graph record it to detect staleness. Version is safe to call concurrently
+// with mutations (it is the one lock-free read the graph supports).
+func (g *Graph) Version() uint64 { return g.version.Load() }
 
 // AddNode adds a member with the given unique name and attributes and
 // returns its ID. Adding a duplicate name returns the existing node's ID and
@@ -95,7 +100,7 @@ func (g *Graph) AddNode(name string, attrs Attrs) (NodeID, error) {
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
 	g.byName[name] = id
-	g.version++
+	g.version.Add(1)
 	return id, nil
 }
 
@@ -174,7 +179,7 @@ func (g *Graph) AddWeightedEdge(from, to NodeID, label string, weight float64) (
 	g.out[from] = append(g.out[from], id)
 	g.in[to] = append(g.in[to], id)
 	g.live++
-	g.version++
+	g.version.Add(1)
 	return id, nil
 }
 
@@ -195,7 +200,7 @@ func (g *Graph) RemoveEdge(id EdgeID) error {
 	}
 	g.edges[id].deleted = true
 	g.live--
-	g.version++
+	g.version.Add(1)
 	return nil
 }
 

@@ -35,6 +35,7 @@ type Interval struct {
 // Contains reports whether p lies in the interval.
 func (iv Interval) Contains(p int) bool { return iv.Lo <= p && p <= iv.Hi }
 
+// String renders the interval as "[lo,hi]".
 func (iv Interval) String() string { return fmt.Sprintf("[%d,%d]", iv.Lo, iv.Hi) }
 
 // Labeling is the computed interval labeling of a DAG.

@@ -38,6 +38,7 @@ const (
 	Both                  // '*': either orientation is authorized (paper's default)
 )
 
+// String returns the direction's surface syntax ('+', '-' or '*').
 func (d Direction) String() string {
 	switch d {
 	case Out:
@@ -62,6 +63,7 @@ const (
 	OpGe
 )
 
+// String returns the comparison operator's surface syntax.
 func (o Op) String() string {
 	switch o {
 	case OpEq:

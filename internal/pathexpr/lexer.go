@@ -72,6 +72,7 @@ type SyntaxError struct {
 	Msg   string
 }
 
+// Error renders the syntax error with its offset and input.
 func (e *SyntaxError) Error() string {
 	return fmt.Sprintf("pathexpr: %s at offset %d in %q", e.Msg, e.Pos, e.Input)
 }

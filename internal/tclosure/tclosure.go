@@ -16,6 +16,7 @@ package tclosure
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"reachac/internal/graph"
 	"reachac/internal/pathexpr"
@@ -117,12 +118,19 @@ type labelDir struct {
 }
 
 // Engine answers reachability constraints from precomputed per-label
-// adjacency and closure matrices.
+// adjacency and closure matrices. Queries are safe for concurrent use (the
+// lazily built closure caches are internally locked); the underlying graph
+// must not be mutated while queries run.
 type Engine struct {
 	g *graph.Graph
 	n int
-	// adj holds one adjacency matrix per (label, direction).
+	// adj holds one adjacency matrix per (label, direction). It is
+	// immutable after New.
 	adj map[labelDir]*matrix
+	// mu guards the lazily built closure caches below, so that concurrent
+	// queries may share one engine. Closure construction is idempotent;
+	// the lock is held across a build only to avoid duplicated work.
+	mu sync.RWMutex
 	// closure holds the transitive closure of each adjacency matrix,
 	// built lazily on first unbounded use and cached.
 	closure map[labelDir]*matrix
@@ -155,6 +163,8 @@ func New(g *graph.Graph) *Engine {
 // space metric).
 func (e *Engine) Bytes() int {
 	per := ((e.n + 63) / 64) * 8 * e.n
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return (len(e.adj) + len(e.closure)) * per
 }
 
@@ -167,14 +177,22 @@ func (e *Engine) MaterializeClosures() {
 }
 
 func (e *Engine) closureFor(k labelDir) *matrix {
-	if c, ok := e.closure[k]; ok {
+	e.mu.RLock()
+	c, ok := e.closure[k]
+	e.mu.RUnlock()
+	if ok {
 		return c
 	}
 	a, ok := e.adj[k]
 	if !ok {
 		return nil
 	}
-	c := a.close()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c, ok := e.closure[k]; ok {
+		return c
+	}
+	c = a.close()
 	e.closure[k] = c
 	return c
 }
@@ -217,17 +235,25 @@ func (e *Engine) stepClosure(label graph.Label, dir pathexpr.Direction) *matrix 
 	default:
 		// Closure of the union is NOT the union of closures; compute from
 		// the union matrix and cache in the both map.
-		if c, ok := e.bothClosure[label]; ok {
+		e.mu.RLock()
+		c, ok := e.bothClosure[label]
+		e.mu.RUnlock()
+		if ok {
 			return c
 		}
 		m := e.stepMatrix(label, pathexpr.Both)
 		if m == nil {
 			return nil
 		}
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if c, ok := e.bothClosure[label]; ok {
+			return c
+		}
 		if e.bothClosure == nil {
 			e.bothClosure = make(map[graph.Label]*matrix)
 		}
-		c := m.close()
+		c = m.close()
 		e.bothClosure[label] = c
 		return c
 	}

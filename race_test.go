@@ -1,0 +1,227 @@
+package reachac
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentStress races mutators (Relate/Unrelate/Share/Revoke)
+// against snapshot-isolated readers (CanAccess/CanAccessAll/CheckPath/
+// Audience) across every engine kind. It asserts no errors and, run under
+// -race, the absence of data races in the snapshot publication protocol and
+// the evaluators' query paths.
+func TestConcurrentStress(t *testing.T) {
+	kinds := []EngineKind{Online, OnlineDFS, OnlineAdaptive, Closure, Index, IndexPaperJoin}
+	for _, kind := range kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			n := New()
+			const members = 40
+			ids := make([]UserID, members)
+			for i := range ids {
+				ids[i] = n.MustAddUser(fmt.Sprintf("u%02d", i))
+			}
+			// A ring of friendships plus some colleague chords, so the
+			// policies below have both hits and misses.
+			for i := range ids {
+				if err := n.Relate(ids[i], ids[(i+1)%members], "friend"); err != nil {
+					t.Fatal(err)
+				}
+				if i%3 == 0 {
+					if err := n.Relate(ids[i], ids[(i+7)%members], "colleague"); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if _, err := n.Share("album", ids[0], "friend+[1,3]"); err != nil {
+				t.Fatal(err)
+			}
+			if err := n.UseEngine(kind); err != nil {
+				t.Fatal(err)
+			}
+
+			// Index engines pay a full rebuild per published snapshot, and
+			// the race detector multiplies that cost; keep their iteration
+			// budget small so the test stays fast while still interleaving
+			// plenty of publications with reads.
+			readers, reads, mutations := 4, 300, 150
+			if kind == Index || kind == IndexPaperJoin {
+				reads, mutations = 40, 20
+			}
+			errc := make(chan error, readers+2)
+			var wg sync.WaitGroup
+
+			// Edge mutator: flips one chord on and off.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < mutations; i++ {
+					if err := n.Relate(ids[5], ids[20], "friend"); err != nil {
+						errc <- err
+						return
+					}
+					if err := n.Unrelate(ids[5], ids[20], "friend"); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}()
+			// Policy mutator: adds and revokes an alternative rule.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < mutations; i++ {
+					rid, err := n.Share("album", ids[0], "colleague+[1,2]")
+					if err != nil {
+						errc <- err
+						return
+					}
+					if !n.Revoke("album", rid) {
+						errc <- fmt.Errorf("rule %s vanished before revoke", rid)
+						return
+					}
+				}
+			}()
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func(seed int) {
+					defer wg.Done()
+					for i := 0; i < reads; i++ {
+						req := ids[(seed*31+i)%members]
+						if _, err := n.CanAccess("album", req); err != nil {
+							errc <- err
+							return
+						}
+						switch i % 16 {
+						case 3:
+							if _, err := n.CanAccessAll("album", ids[:8]); err != nil {
+								errc <- err
+								return
+							}
+						case 7:
+							if _, err := n.CheckPath(ids[0], req, "friend+[1,2]"); err != nil {
+								errc <- err
+								return
+							}
+						case 11:
+							if _, err := n.Audience("album"); err != nil {
+								errc <- err
+								return
+							}
+						case 15:
+							n.Audit()
+						}
+					}
+				}(r)
+			}
+			wg.Wait()
+			close(errc)
+			for err := range errc {
+				t.Fatal(err)
+			}
+
+			// The graph must be back in its pre-race shape, and decisions
+			// must still be exact on the settled state.
+			chords := (members + 2) / 3 // one colleague chord per i%3==0
+			if got := n.NumRelationships(); got != members+chords {
+				t.Fatalf("relationships = %d after stress, want %d", got, members+chords)
+			}
+			d, err := n.CanAccess("album", ids[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.Effect != Allow {
+				t.Fatalf("direct friend denied after stress: %+v", d)
+			}
+			d, err = n.CanAccess("album", ids[members/2])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.Effect != Deny {
+				t.Fatalf("distant member allowed after stress: %+v", d)
+			}
+		})
+	}
+}
+
+// TestSnapshotIsolation pins the semantics the concurrency model promises:
+// a batch runs against one snapshot even if a mutation lands mid-batch, and
+// new snapshots observe mutations immediately.
+func TestSnapshotIsolation(t *testing.T) {
+	n := New()
+	alice := n.MustAddUser("alice")
+	bob := n.MustAddUser("bob")
+	if err := n.Relate(alice, bob, "friend"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Share("r", alice, "friend+[1]"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := n.CanAccess("r", bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Effect != Allow {
+		t.Fatalf("friend denied: %+v", d)
+	}
+	// Unfriending must be visible to the very next check (fresh snapshot).
+	if err := n.Unrelate(alice, bob, "friend"); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ = n.CanAccess("r", bob); d.Effect != Deny {
+		t.Fatalf("unfriended requester still allowed: %+v", d)
+	}
+	// And re-friending likewise.
+	if err := n.Relate(alice, bob, "friend"); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ = n.CanAccess("r", bob); d.Effect != Allow {
+		t.Fatalf("re-friended requester denied: %+v", d)
+	}
+}
+
+// TestCanAccessAll checks the batch API against the scalar one.
+func TestCanAccessAll(t *testing.T) {
+	n := New()
+	const members = 64
+	ids := make([]UserID, members)
+	for i := range ids {
+		ids[i] = n.MustAddUser(fmt.Sprintf("m%02d", i))
+	}
+	for i := 1; i < members; i++ {
+		// Members 1..15 are direct friends of member 0.
+		if i < 16 {
+			if err := n.Relate(ids[0], ids[i], "friend"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := n.Share("wall", ids[0], "friend+[1]"); err != nil {
+		t.Fatal(err)
+	}
+	batch, err := n.CanAccessAll("wall", ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != members {
+		t.Fatalf("batch = %d decisions, want %d", len(batch), members)
+	}
+	for i, d := range batch {
+		want, err := n.CanAccess("wall", ids[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Effect != want.Effect {
+			t.Fatalf("member %d: batch %v, scalar %v", i, d.Effect, want.Effect)
+		}
+	}
+	if batch[0].Effect != Allow || batch[1].Effect != Allow || batch[40].Effect != Deny {
+		t.Fatalf("unexpected effects: owner=%v friend=%v stranger=%v",
+			batch[0].Effect, batch[1].Effect, batch[40].Effect)
+	}
+	// Empty batch.
+	if out, err := n.CanAccessAll("wall", nil); err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v, %v", out, err)
+	}
+}

@@ -4,13 +4,11 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"reachac/internal/core"
 	"reachac/internal/graph"
-	"reachac/internal/joinindex"
 	"reachac/internal/pathexpr"
-	"reachac/internal/search"
-	"reachac/internal/tclosure"
 )
 
 // UserID identifies a member of the network.
@@ -92,24 +90,41 @@ type Evaluator = core.Evaluator
 
 // Network is a social graph with privacy policies and an enforcement
 // engine. The zero value is not usable; call New. All methods are safe for
-// concurrent use, except that mutations concurrent with access checks
-// serialize on an internal lock.
+// concurrent use.
+//
+// Reads are snapshot-isolated: access checks (CanAccess, CanAccessAll,
+// CheckPath, Audience) run against an immutable engine snapshot — a private
+// graph clone, an evaluator built over it, and a frozen policy view —
+// published through an atomic pointer, so they proceed concurrently with
+// zero lock contention. Mutations (AddUser, Relate, Unrelate, Share, …)
+// serialize on an internal lock and bump version counters; the first read
+// after a change republished the snapshot once, off the common hot path.
 type Network struct {
-	mu     sync.Mutex
-	g      *graph.Graph
-	store  *core.Store
-	kind   EngineKind
-	eval   Evaluator
-	engine *core.Engine
-	// built is the graph.Version the current evaluator was built at;
-	// evaluators are rebuilt lazily when the graph has mutated since (also
-	// catching mutations made directly through the Graph() handle).
-	built uint64
+	// mu serializes mutations of the master graph and snapshot
+	// publication; readers never take it on the fast path.
+	mu   sync.Mutex
+	g    *graph.Graph
+	kind EngineKind
+	// store is the live policy store; an atomic pointer because
+	// LoadPolicies replaces it wholesale while readers check staleness
+	// lock-free.
+	store atomic.Pointer[core.Store]
+	// audit is shared by every engine incarnation so the decision trail
+	// survives snapshot republication.
+	audit *core.AuditLog
+	// snap is the published engine snapshot; nil until the first access
+	// check or UseEngine call.
+	snap atomic.Pointer[snapshot]
 }
 
 // New returns an empty network using the Online engine.
 func New() *Network {
-	n := &Network{g: graph.New(), store: core.NewStore(), kind: Online}
+	return newNetwork(graph.New(), core.NewStore())
+}
+
+func newNetwork(g *graph.Graph, store *core.Store) *Network {
+	n := &Network{g: g, kind: Online, audit: core.NewAuditLog(0)}
+	n.store.Store(store)
 	return n
 }
 
@@ -209,31 +224,37 @@ func Load(r io.Reader) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Network{g: g, store: core.NewStore(), kind: Online}, nil
+	return newNetwork(g, core.NewStore()), nil
 }
 
 // FromGraph wraps an existing social graph (used by the command-line tools
 // and benchmarks; the graph must not be mutated externally afterwards).
 func FromGraph(g *graph.Graph) *Network {
-	return &Network{g: g, store: core.NewStore(), kind: Online}
+	return newNetwork(g, core.NewStore())
 }
 
-// Graph exposes the underlying graph for read-only inspection.
+// Graph exposes the underlying master graph for inspection. Mutating it
+// directly is detected via its version counter (the next access check
+// republishes the engine snapshot), but is not safe concurrently with other
+// Network calls; prefer the Network mutators.
 func (n *Network) Graph() *graph.Graph { return n.g }
 
-// Store exposes the policy store.
-func (n *Network) Store() *core.Store { return n.store }
+// Store exposes the live policy store.
+func (n *Network) Store() *core.Store { return n.store.Load() }
 
-// UseEngine selects the evaluator kind for subsequent access checks. Index
-// engines are (re)built immediately; an error leaves the previous engine in
-// place.
+// UseEngine selects the evaluator kind for subsequent access checks. The
+// engine snapshot is (re)built and published immediately; an error leaves
+// the previous engine in place.
 func (n *Network) UseEngine(kind EngineKind) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	prev := n.kind
 	n.kind = kind
-	n.eval = nil
-	n.engine = nil
-	return n.ensureEngineLocked()
+	if _, err := n.publishLocked(); err != nil {
+		n.kind = prev
+		return err
+	}
+	return nil
 }
 
 // EngineKind reports the selected engine.
@@ -241,41 +262,6 @@ func (n *Network) EngineKind() EngineKind {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.kind
-}
-
-func (n *Network) ensureEngineLocked() error {
-	if n.eval != nil && n.built == n.g.Version() {
-		return nil
-	}
-	var eval Evaluator
-	switch n.kind {
-	case Online:
-		eval = search.New(n.g)
-	case OnlineDFS:
-		eval = search.NewDFS(n.g)
-	case OnlineAdaptive:
-		eval = search.NewAdaptive(n.g)
-	case Closure:
-		eval = tclosure.New(n.g)
-	case Index:
-		idx, err := joinindex.Build(n.g, joinindex.Options{})
-		if err != nil {
-			return fmt.Errorf("reachac: building index: %w", err)
-		}
-		eval = idx
-	case IndexPaperJoin:
-		idx, err := joinindex.Build(n.g, joinindex.Options{Strategy: joinindex.EvalPaperJoin})
-		if err != nil {
-			return fmt.Errorf("reachac: building index: %w", err)
-		}
-		eval = idx
-	default:
-		return fmt.Errorf("reachac: unknown engine kind %d", int(n.kind))
-	}
-	n.eval = eval
-	n.built = n.g.Version()
-	n.engine = core.NewEngine(n.store, eval, 0)
-	return nil
 }
 
 // Share registers resource to owner (if new) and attaches one access rule
@@ -294,11 +280,14 @@ func (n *Network) Share(resource string, owner UserID, paths ...string) (string,
 		}
 		conds[i] = core.Condition{Path: p}
 	}
-	if err := n.store.Register(core.ResourceID(resource), owner); err != nil {
+	// Load the store once: registering in one store and adding the rule to
+	// another (swapped in by a concurrent LoadPolicies) would orphan the rule.
+	store := n.store.Load()
+	if err := store.Register(core.ResourceID(resource), owner); err != nil {
 		return "", err
 	}
 	rule := &core.Rule{Resource: core.ResourceID(resource), Owner: owner, Conditions: conds}
-	if err := n.store.AddRule(rule); err != nil {
+	if err := store.AddRule(rule); err != nil {
 		return "", err
 	}
 	return rule.ID, nil
@@ -306,20 +295,21 @@ func (n *Network) Share(resource string, owner UserID, paths ...string) (string,
 
 // Revoke removes a rule from a resource; it reports whether it existed.
 func (n *Network) Revoke(resource, ruleID string) bool {
-	return n.store.RemoveRule(core.ResourceID(resource), ruleID)
+	return n.store.Load().RemoveRule(core.ResourceID(resource), ruleID)
 }
 
 // CanAccess decides whether requester may access resource under the current
-// policies, using the selected engine (rebuilding it if the graph changed).
+// policies, using the selected engine. The check runs against the current
+// engine snapshot (republished first if the graph or policies changed), so
+// concurrent checks never contend on a lock. Repeated checks of the same
+// (resource, requester) pair are served from the snapshot's decision cache
+// and appear once in the audit trail.
 func (n *Network) CanAccess(resource string, requester UserID) (Decision, error) {
-	n.mu.Lock()
-	if err := n.ensureEngineLocked(); err != nil {
-		n.mu.Unlock()
+	s, err := n.snapshot()
+	if err != nil {
 		return Decision{}, err
 	}
-	engine := n.engine
-	n.mu.Unlock()
-	return engine.Decide(core.ResourceID(resource), requester)
+	return s.decide(core.ResourceID(resource), requester)
 }
 
 // CheckPath answers a raw reachability question: does a path matching expr
@@ -329,24 +319,17 @@ func (n *Network) CheckPath(owner, requester UserID, expr string) (bool, error) 
 	if err != nil {
 		return false, err
 	}
-	n.mu.Lock()
-	if err := n.ensureEngineLocked(); err != nil {
-		n.mu.Unlock()
+	s, err := n.snapshot()
+	if err != nil {
 		return false, err
 	}
-	eval := n.eval
-	n.mu.Unlock()
-	return eval.Reachable(owner, requester, p)
+	return s.eval.Reachable(owner, requester, p)
 }
 
-// Audit returns the retained decision trail of the current engine.
+// Audit returns the retained decision trail. The trail is shared across
+// engine snapshots, so it survives graph mutations and engine switches.
 func (n *Network) Audit() []Decision {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.engine == nil {
-		return nil
-	}
-	return n.engine.Audit()
+	return n.audit.Decisions()
 }
 
 // ParsePath validates a path expression, returning its canonical form.
@@ -361,11 +344,12 @@ func ParsePath(expr string) (string, error) {
 // SavePolicies serializes the policy store (resources, owners, rules) to w.
 // Together with Save this persists the whole network state.
 func (n *Network) SavePolicies(w io.Writer) error {
-	return n.store.Write(w)
+	return n.store.Load().Write(w)
 }
 
 // LoadPolicies replaces the network's policy store with one read from r.
-// Rule owners are validated against the current graph.
+// Rule owners are validated against the current graph. The engine snapshot
+// is republished on the next access check.
 func (n *Network) LoadPolicies(r io.Reader) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -373,21 +357,17 @@ func (n *Network) LoadPolicies(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	n.store = store
-	n.engine = nil // rebuilt against the new store on next access
-	n.eval = nil
+	n.store.Store(store)
 	return nil
 }
 
 // Audience enumerates every user granted access to resource by its current
-// rules (excluding the owner, who always has access).
+// rules (excluding the owner, who always has access). Like CanAccess it
+// runs against the current engine snapshot, concurrently with other reads.
 func (n *Network) Audience(resource string) ([]UserID, error) {
-	n.mu.Lock()
-	if err := n.ensureEngineLocked(); err != nil {
-		n.mu.Unlock()
+	s, err := n.snapshot()
+	if err != nil {
 		return nil, err
 	}
-	eval := n.eval
-	n.mu.Unlock()
-	return n.store.Audience(core.ResourceID(resource), n.g, eval)
+	return s.store.Audience(core.ResourceID(resource), s.g, s.eval)
 }

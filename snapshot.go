@@ -1,0 +1,224 @@
+package reachac
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"reachac/internal/core"
+	"reachac/internal/graph"
+	"reachac/internal/joinindex"
+	"reachac/internal/search"
+	"reachac/internal/tclosure"
+)
+
+// snapshot is one immutable engine generation: a private clone of the social
+// graph, an evaluator built over it, a frozen policy view, and a decision
+// cache. Once published via Network.snap it is never mutated (the cache is
+// internally synchronized), so any number of readers may use it with no
+// coordination while mutators prepare the next generation.
+type snapshot struct {
+	// g is a private clone of the master graph; nothing mutates it after
+	// the snapshot is built, so evaluators may traverse it lock-free.
+	g    *graph.Graph
+	kind EngineKind
+	eval Evaluator
+	// store is the frozen policy view (a Store clone); engine decides
+	// against it, so concurrent Share/Revoke cannot change the rules a
+	// reader observes mid-decision.
+	store  *core.Store
+	engine *core.Engine
+	// version is the master graph's Version at clone time; src and gen
+	// identify the live policy store and its Generation at clone time.
+	// The snapshot is current exactly while all three still match.
+	version uint64
+	src     *core.Store
+	gen     uint64
+	// cache memoizes decisions per (resource, requester). It lives and
+	// dies with the snapshot: any graph or policy change publishes a new
+	// snapshot with an empty cache, so no fine-grained invalidation is
+	// ever needed. cacheLen bounds it (see maxCachedDecisions) so a
+	// long-lived snapshot on a quiescent network cannot grow without
+	// limit.
+	cache    sync.Map
+	cacheLen atomic.Int64
+}
+
+// maxCachedDecisions caps one snapshot's decision cache. Entries beyond the
+// cap are decided but not memoized; the cap is generous because an entry is
+// small and the cache empties at every graph or policy change.
+const maxCachedDecisions = 1 << 20
+
+// decisionKey identifies one cached access decision.
+type decisionKey struct {
+	res core.ResourceID
+	req UserID
+}
+
+// current reports whether the snapshot still reflects the live network
+// state. The graph version and policy generation are both read from atomic
+// counters, so this check is lock-free.
+func (s *snapshot) current(g *graph.Graph, store *core.Store) bool {
+	return s.version == g.Version() && s.src == store && s.gen == store.Generation()
+}
+
+// decide answers one access request against the snapshot, serving repeats
+// from the decision cache. Cached hits do not re-enter the audit trail.
+func (s *snapshot) decide(res core.ResourceID, requester UserID) (Decision, error) {
+	k := decisionKey{res, requester}
+	if v, ok := s.cache.Load(k); ok {
+		return v.(Decision), nil
+	}
+	d, err := s.engine.Decide(res, requester)
+	if err != nil {
+		return Decision{}, err
+	}
+	if s.cacheLen.Load() < maxCachedDecisions {
+		if _, loaded := s.cache.LoadOrStore(k, d); !loaded {
+			s.cacheLen.Add(1)
+		}
+	}
+	return d, nil
+}
+
+// buildEvaluator constructs the evaluator of the given kind over g, which
+// must not be mutated afterwards.
+func buildEvaluator(kind EngineKind, g *graph.Graph) (Evaluator, error) {
+	switch kind {
+	case Online:
+		return search.New(g), nil
+	case OnlineDFS:
+		return search.NewDFS(g), nil
+	case OnlineAdaptive:
+		return search.NewAdaptive(g), nil
+	case Closure:
+		return tclosure.New(g), nil
+	case Index:
+		idx, err := joinindex.Build(g, joinindex.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("reachac: building index: %w", err)
+		}
+		return idx, nil
+	case IndexPaperJoin:
+		idx, err := joinindex.Build(g, joinindex.Options{Strategy: joinindex.EvalPaperJoin})
+		if err != nil {
+			return nil, fmt.Errorf("reachac: building index: %w", err)
+		}
+		return idx, nil
+	default:
+		return nil, fmt.Errorf("reachac: unknown engine kind %d", int(kind))
+	}
+}
+
+// snapshot returns the current engine snapshot, publishing a fresh one if
+// the graph or policies changed since the last publication. The fast path
+// is two atomic loads and two atomic counter reads; only the first reader
+// after a change pays for the rebuild.
+func (n *Network) snapshot() (*snapshot, error) {
+	if s := n.snap.Load(); s != nil && s.current(n.g, n.store.Load()) {
+		return s, nil
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.publishLocked()
+}
+
+// publishLocked builds and publishes a snapshot of the current master
+// state. Callers must hold n.mu, which serializes it against mutators and
+// concurrent publishers. A policy-only change reuses the previous
+// snapshot's graph clone and evaluator; only the policy view and decision
+// cache are refreshed.
+func (n *Network) publishLocked() (*snapshot, error) {
+	store := n.store.Load()
+	// Read both counters before cloning: a mutation racing the clone then
+	// at worst marks the new snapshot already stale (forcing one extra
+	// rebuild), never lets it linger as current with missing state.
+	gv, gen := n.g.Version(), store.Generation()
+	cur := n.snap.Load()
+	if cur != nil && cur.version == gv && cur.src == store && cur.gen == gen && cur.kind == n.kind {
+		return cur, nil
+	}
+	var gc *graph.Graph
+	var eval Evaluator
+	if cur != nil && cur.version == gv && cur.kind == n.kind {
+		gc, eval = cur.g, cur.eval
+	} else {
+		gc = n.g.Clone()
+		var err error
+		eval, err = buildEvaluator(n.kind, gc)
+		if err != nil {
+			return nil, err
+		}
+	}
+	view := store.Clone()
+	s := &snapshot{
+		g:       gc,
+		kind:    n.kind,
+		eval:    eval,
+		store:   view,
+		engine:  core.NewEngineWithLog(view, eval, n.audit),
+		version: gv,
+		src:     store,
+		gen:     gen,
+	}
+	n.snap.Store(s)
+	return s, nil
+}
+
+// CanAccessAll decides access to one resource for many requesters in a
+// single call, fanning the checks out across a worker pool. All decisions
+// are made against one engine snapshot, so the result is a consistent view
+// even if mutations land mid-batch. The returned slice is index-aligned
+// with requesters. On any evaluation error the batch is abandoned and the
+// first error is returned.
+func (n *Network) CanAccessAll(resource string, requesters []UserID) ([]Decision, error) {
+	s, err := n.snapshot()
+	if err != nil {
+		return nil, err
+	}
+	res := core.ResourceID(resource)
+	out := make([]Decision, len(requesters))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(requesters) {
+		workers = len(requesters)
+	}
+	if workers <= 1 {
+		for i, r := range requesters {
+			if out[i], err = s.decide(res, r); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		errOnce sync.Once
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(requesters) {
+					return
+				}
+				d, derr := s.decide(res, requesters[i])
+				if derr != nil {
+					errOnce.Do(func() { err = derr })
+					failed.Store(true)
+					return
+				}
+				out[i] = d
+			}
+		}()
+	}
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
