@@ -1,0 +1,121 @@
+package reachac
+
+import (
+	"fmt"
+
+	"reachac/internal/core"
+	"reachac/internal/graph"
+)
+
+// Tx batches mutations under a single lock hold so that interleaved readers
+// trigger at most one snapshot republication for the whole batch, and the
+// delta window is consumed in one O(Δ) advance instead of one per call. A
+// Tx is only valid inside the Batch callback that created it and must not
+// be used concurrently or retained.
+type Tx struct {
+	n *Network
+	// undo holds the inverse of each applied mutation, pushed in order and
+	// run in reverse when the callback fails.
+	undo []func()
+}
+
+// Batch runs fn with a transaction handle, applying all its mutations under
+// one lock acquisition. If fn returns an error, the invertible mutations
+// already applied (Relate, Unrelate, Share, Revoke) are rolled back in
+// reverse order and the error is returned. AddUser is not invertible (the
+// graph never removes nodes); users created by a failed batch remain as
+// isolated members, which no path expression can ever match. Resource
+// registration performed by Share likewise persists, though the rule itself
+// is rolled back.
+//
+// Reads against the currently published snapshot proceed untouched, but
+// once the batch's first mutation lands, a reader that needs a fresh
+// snapshot waits for the whole batch before republishing (once) — so keep
+// callbacks short and precompute outside the batch.
+func (n *Network) Batch(fn func(*Tx) error) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	tx := &Tx{n: n}
+	if err := fn(tx); err != nil {
+		for i := len(tx.undo) - 1; i >= 0; i-- {
+			tx.undo[i]()
+		}
+		return err
+	}
+	return nil
+}
+
+// AddUser is Network.AddUser within the batch.
+func (tx *Tx) AddUser(name string, attrs ...Attr) (UserID, error) {
+	return tx.n.addUserLocked(name, attrs)
+}
+
+// Relate is Network.Relate within the batch; rolled back on batch failure.
+func (tx *Tx) Relate(from, to UserID, relType string) error {
+	if _, err := tx.n.g.AddEdge(from, to, relType); err != nil {
+		return err
+	}
+	// Undo by (from, to, label) identity, not EdgeID: a later Unrelate of
+	// the same relationship in this batch would re-add it under a fresh ID
+	// during its own (earlier-running) undo.
+	tx.undo = append(tx.undo, func() {
+		if l, ok := tx.n.g.LookupLabel(relType); ok {
+			if e := tx.n.g.FindEdge(from, to, l); e != graph.InvalidEdge {
+				_ = tx.n.g.RemoveEdge(e)
+			}
+		}
+	})
+	return nil
+}
+
+// Unrelate is Network.Unrelate within the batch; rolled back (the edge is
+// re-added, with its weight) on batch failure.
+func (tx *Tx) Unrelate(from, to UserID, relType string) error {
+	l, ok := tx.n.g.LookupLabel(relType)
+	if !ok {
+		return fmt.Errorf("reachac: unknown relationship type %q", relType)
+	}
+	e := tx.n.g.FindEdge(from, to, l)
+	if e == graph.InvalidEdge {
+		return fmt.Errorf("reachac: no %s relationship %d -> %d", relType, from, to)
+	}
+	rec := tx.n.g.Edge(e)
+	if err := tx.n.g.RemoveEdge(e); err != nil {
+		return err
+	}
+	tx.undo = append(tx.undo, func() {
+		_, _ = tx.n.g.AddWeightedEdge(rec.From, rec.To, relType, rec.Weight)
+	})
+	return nil
+}
+
+// Share is Network.Share within the batch; the added rule is revoked on
+// batch failure (the resource registration persists).
+func (tx *Tx) Share(resource string, owner UserID, paths ...string) (string, error) {
+	id, err := tx.n.Share(resource, owner, paths...)
+	if err != nil {
+		return "", err
+	}
+	tx.undo = append(tx.undo, func() { tx.n.store.Load().RemoveRule(core.ResourceID(resource), id) })
+	return id, nil
+}
+
+// Revoke is Network.Revoke within the batch; the removed rule is re-added
+// on batch failure.
+func (tx *Tx) Revoke(resource, ruleID string) bool {
+	store := tx.n.store.Load()
+	var removed *core.Rule
+	for _, r := range store.RulesFor(core.ResourceID(resource)) {
+		if r.ID == ruleID {
+			removed = r
+			break
+		}
+	}
+	if !store.RemoveRule(core.ResourceID(resource), ruleID) {
+		return false
+	}
+	if removed != nil {
+		tx.undo = append(tx.undo, func() { _ = store.AddRule(removed) })
+	}
+	return true
+}

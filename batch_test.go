@@ -1,0 +1,200 @@
+package reachac
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestBatchApplies pins the success path: one Batch call lands every
+// mutation and the next read observes all of them against one snapshot.
+func TestBatchApplies(t *testing.T) {
+	n := New()
+	a := n.MustAddUser("a")
+	b := n.MustAddUser("b")
+	var rule string
+	err := n.Batch(func(tx *Tx) error {
+		c, err := tx.AddUser("c")
+		if err != nil {
+			return err
+		}
+		if err := tx.Relate(a, b, "friend"); err != nil {
+			return err
+		}
+		if err := tx.Relate(b, c, "friend"); err != nil {
+			return err
+		}
+		rule, err = tx.Share("album", a, "friend+[1,2]")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := n.UserID("c")
+	if !ok {
+		t.Fatal("batched AddUser lost")
+	}
+	d, err := n.CanAccess("album", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Effect != Allow || d.RuleID != rule {
+		t.Fatalf("batched state not visible: %+v", d)
+	}
+}
+
+// TestBatchRollsBack pins the failure path: a failing batch undoes its
+// relationship and policy mutations in reverse order.
+func TestBatchRollsBack(t *testing.T) {
+	n := New()
+	a := n.MustAddUser("a")
+	b := n.MustAddUser("b")
+	if err := n.Relate(a, b, "colleague"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Share("album", a, "colleague+[1]"); err != nil {
+		t.Fatal(err)
+	}
+	rules := func() int { return len(n.Store().RulesFor("album")) }
+	preEdges := n.NumRelationships()
+	preRules := rules()
+	boom := errors.New("boom")
+	err := n.Batch(func(tx *Tx) error {
+		if err := tx.Relate(b, a, "colleague"); err != nil {
+			return err
+		}
+		if err := tx.Unrelate(a, b, "colleague"); err != nil {
+			return err
+		}
+		if _, err := tx.Share("album", a, "friend+[1]"); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Batch error = %v, want boom", err)
+	}
+	if got := n.NumRelationships(); got != preEdges {
+		t.Fatalf("relationships = %d after rollback, want %d", got, preEdges)
+	}
+	if !n.Graph().HasEdge(a, b, "colleague") {
+		t.Fatal("unrelated edge not restored")
+	}
+	if n.Graph().HasEdge(b, a, "colleague") {
+		t.Fatal("related edge not removed")
+	}
+	if got := rules(); got != preRules {
+		t.Fatalf("rules = %d after rollback, want %d", got, preRules)
+	}
+	// Decisions reflect the rolled-back state.
+	d, err := n.CanAccess("album", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Effect != Allow {
+		t.Fatalf("pre-batch rule lost: %+v", d)
+	}
+}
+
+// TestBatchRelateUnrelateRollback pins the tricky rollback interleaving:
+// a batch that relates then unrelates the same pair and fails must leave
+// the pair unrelated (the Unrelate undo re-adds the edge under a fresh ID;
+// the Relate undo must still find and remove it).
+func TestBatchRelateUnrelateRollback(t *testing.T) {
+	n := New()
+	a := n.MustAddUser("a")
+	b := n.MustAddUser("b")
+	boom := errors.New("boom")
+	err := n.Batch(func(tx *Tx) error {
+		if err := tx.Relate(a, b, "friend"); err != nil {
+			return err
+		}
+		if err := tx.Unrelate(a, b, "friend"); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	if n.Graph().HasEdge(a, b, "friend") {
+		t.Fatal("relate+unrelate rollback leaked the edge")
+	}
+	if got := n.NumRelationships(); got != 0 {
+		t.Fatalf("relationships = %d after rollback, want 0", got)
+	}
+}
+
+// TestBatchRevokeRollback pins that a revoked rule is restored when the
+// batch fails.
+func TestBatchRevokeRollback(t *testing.T) {
+	n := New()
+	a := n.MustAddUser("a")
+	b := n.MustAddUser("b")
+	if err := n.Relate(a, b, "friend"); err != nil {
+		t.Fatal(err)
+	}
+	rid, err := n.Share("album", a, "friend+[1]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err = n.Batch(func(tx *Tx) error {
+		if !tx.Revoke("album", rid) {
+			return fmt.Errorf("rule %s missing", rid)
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	d, err := n.CanAccess("album", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Effect != Allow || d.RuleID != rid {
+		t.Fatalf("revoked rule not restored: %+v", d)
+	}
+}
+
+// TestBatchSingleRepublication pins the cost model the Batch API exists
+// for: a burst of batched mutations triggers exactly one republication on
+// the next read.
+func TestBatchSingleRepublication(t *testing.T) {
+	n := New()
+	ids := make([]UserID, 10)
+	for i := range ids {
+		ids[i] = n.MustAddUser(fmt.Sprintf("u%d", i))
+	}
+	if _, err := n.Share("r", ids[0], "friend+[1,3]"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.CanAccess("r", ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	before := n.snap.Load()
+	err := n.Batch(func(tx *Tx) error {
+		for i := 0; i < 9; i++ {
+			if err := tx.Relate(ids[i], ids[i+1], "friend"); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.snap.Load() != before {
+		t.Fatal("Batch itself must not republish")
+	}
+	if d, err := n.CanAccess("r", ids[3]); err != nil || d.Effect != Allow {
+		t.Fatalf("post-batch decision = (%v, %v)", d.Effect, err)
+	}
+	after := n.snap.Load()
+	if after == before {
+		t.Fatal("first read after the batch must republish")
+	}
+	if after.version != n.Graph().Version() {
+		t.Fatal("one republication must absorb the whole batch")
+	}
+}

@@ -13,6 +13,7 @@ package reachac
 //	F3/F5/F6 Benchmark{LineGraph,Interval,TwoHop} pipeline stage costs
 
 import (
+	"fmt"
 	"testing"
 
 	"reachac/internal/core"
@@ -355,6 +356,149 @@ func BenchmarkCanAccessAll(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(benchSize), "decisions/op")
+}
+
+// BenchmarkInterleavedMutateRead measures the snapshot republication cost
+// under the worst-case production pattern PR 1 documented: every mutation
+// is immediately followed by a read, so each read pays a publication. The
+// "delta" arm uses the default bounded delta log (the retired clone is
+// fast-forwarded in O(Δ)); the "rebuild" arm disables the log, forcing the
+// pre-delta O(V+E) clone+rebuild on every publication. Online engines run
+// on a 50k-member graph; the precomputed engines run smaller (a 50k×50k
+// bitset closure would not fit) but exercise the same two paths.
+func BenchmarkInterleavedMutateRead(b *testing.B) {
+	cases := []struct {
+		kind EngineKind
+		size int
+	}{
+		{Online, 50000},
+		{OnlineDFS, 50000},
+		{OnlineAdaptive, 50000},
+		{Closure, 2000},
+		{Index, 2000},
+	}
+	for _, c := range cases {
+		for _, mode := range []string{"delta", "rebuild"} {
+			b.Run(fmt.Sprintf("%s-%d/%s", c.kind, c.size, mode), func(b *testing.B) {
+				g := generate.OSN(generate.OSNConfig{Nodes: c.size, Seed: 7, WithAttrs: true})
+				if mode == "rebuild" {
+					g.SetDeltaLogLimit(-1)
+				}
+				n := FromGraph(g)
+				owner, _ := n.UserID("u000010")
+				if _, err := n.Share("r", owner, "friend+[1,2]"); err != nil {
+					b.Fatal(err)
+				}
+				if err := n.UseEngine(c.kind); err != nil {
+					b.Fatal(err)
+				}
+				pairs := workload.HitPairs(g, 64, 2, 7)
+				x, _ := n.UserID("u000001")
+				y, _ := n.UserID("u000002")
+				// Warm: publish twice so the delta arm's ping-pong has a
+				// retired spare, and lazily built structures exist.
+				for i := 0; i < 2; i++ {
+					if err := n.Relate(x, y, "bench-touch"); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := n.CanAccess("r", pairs[0].Requester); err != nil {
+						b.Fatal(err)
+					}
+					if err := n.Unrelate(x, y, "bench-touch"); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := n.CanAccess("r", pairs[0].Requester); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var err error
+					if i%2 == 0 {
+						err = n.Relate(x, y, "bench-touch")
+					} else {
+						err = n.Unrelate(x, y, "bench-touch")
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := n.CanAccess("r", pairs[i%len(pairs)].Requester); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkBatchMutate compares k interleaved mutate/read cycles (k
+// republications) against one Batch of k mutations followed by one read
+// (one republication), on the online engine.
+func BenchmarkBatchMutate(b *testing.B) {
+	const size, k = 20000, 16
+	setup := func(b *testing.B) (*Network, []workload.Pair, UserID, UserID) {
+		b.Helper()
+		g := generate.OSN(generate.OSNConfig{Nodes: size, Seed: 11})
+		n := FromGraph(g)
+		owner, _ := n.UserID("u000010")
+		if _, err := n.Share("r", owner, "friend+[1,2]"); err != nil {
+			b.Fatal(err)
+		}
+		pairs := workload.HitPairs(g, 64, 2, 7)
+		if _, err := n.CanAccess("r", pairs[0].Requester); err != nil {
+			b.Fatal(err)
+		}
+		x, _ := n.UserID("u000001")
+		y, _ := n.UserID("u000002")
+		return n, pairs, x, y
+	}
+	b.Run("singles", func(b *testing.B) {
+		n, pairs, x, y := setup(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < k; j++ {
+				label := fmt.Sprintf("bench-%d", j)
+				var err error
+				if i%2 == 0 {
+					err = n.Relate(x, y, label)
+				} else {
+					err = n.Unrelate(x, y, label)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := n.CanAccess("r", pairs[j%len(pairs)].Requester); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		n, pairs, x, y := setup(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			err := n.Batch(func(tx *Tx) error {
+				for j := 0; j < k; j++ {
+					label := fmt.Sprintf("bench-%d", j)
+					if i%2 == 0 {
+						if err := tx.Relate(x, y, label); err != nil {
+							return err
+						}
+					} else if err := tx.Unrelate(x, y, label); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := n.CanAccess("r", pairs[i%len(pairs)].Requester); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkTwoHopInsert measures incremental 2-hop maintenance (one edge

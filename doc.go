@@ -25,7 +25,10 @@
 // snapshot-isolated: they run lock-free against an immutable published
 // engine snapshot with a per-snapshot decision cache, so read throughput
 // scales with cores; CanAccessAll batches many requesters against one
-// consistent snapshot. See ARCHITECTURE.md for the publication protocol.
+// consistent snapshot. Republication after a mutation is incremental
+// (O(Δ) via the graph's delta log) whenever possible, and Batch coalesces
+// many mutations into one republication. See ARCHITECTURE.md for the
+// publication protocol.
 //
 // See the examples/ directory for complete programs.
 package reachac

@@ -81,6 +81,23 @@ type Evaluator interface {
 	Reachable(owner, requester graph.NodeID, p *pathexpr.Path) (bool, error)
 }
 
+// IncrementalEvaluator is implemented by evaluators that can advance in
+// place after the graph they were built over — a snapshot's private clone —
+// has been fast-forwarded by a batch of recorded deltas (graph.Delta).
+//
+// ApplyDelta is called with the already-advanced clone and the delta batch
+// that advanced it, and reports whether the evaluator absorbed the batch.
+// Returning false declines the batch: the caller must rebuild the evaluator
+// from scratch over g, so correctness holds by construction — an evaluator
+// may decline any delta it cannot (or would rather not) handle
+// incrementally, and a partially-advanced evaluator that declined must
+// simply never be queried again. ApplyDelta is never invoked concurrently
+// with queries; the caller guarantees the evaluator is quiescent.
+type IncrementalEvaluator interface {
+	Evaluator
+	ApplyDelta(g *graph.Graph, deltas []graph.Delta) bool
+}
+
 // Store holds resource ownership and the access rules protecting each
 // resource. It is safe for concurrent use.
 type Store struct {

@@ -1,0 +1,187 @@
+package graph
+
+import "fmt"
+
+// DeltaOp is the kind of one recorded structural mutation.
+type DeltaOp uint8
+
+// Delta operations. Attribute updates (SetAttr) do not bump the version
+// counter and are deliberately not logged, matching snapshot semantics.
+const (
+	// OpAddNode records an AddNode call.
+	OpAddNode DeltaOp = iota
+	// OpAddEdge records an AddEdge/AddWeightedEdge call.
+	OpAddEdge
+	// OpRemoveEdge records a RemoveEdge call. The edge is identified by
+	// (From, To, Label) rather than EdgeID, because clones renumber edges.
+	OpRemoveEdge
+	// OpCompact records a CompactTombstones call. It renumbers edge IDs but
+	// changes no live relationship, so replaying it on a clone is at most a
+	// compaction of the clone's own tombstones.
+	OpCompact
+)
+
+func (op DeltaOp) String() string {
+	switch op {
+	case OpAddNode:
+		return "add-node"
+	case OpAddEdge:
+		return "add-edge"
+	case OpRemoveEdge:
+		return "remove-edge"
+	case OpCompact:
+		return "compact"
+	default:
+		return fmt.Sprintf("DeltaOp(%d)", uint8(op))
+	}
+}
+
+// Delta is one recorded structural mutation. Deltas are expressed in terms
+// stable across clones: node IDs (never reused), label names and endpoint
+// pairs — never EdgeIDs, which clones renumber.
+type Delta struct {
+	Op DeltaOp
+	// Name and Attrs describe an OpAddNode. Attrs is shared with the live
+	// node; Apply clones it, mirroring Graph.Clone.
+	Name  string
+	Attrs Attrs
+	// From, To, Label and Weight describe an edge for OpAddEdge and
+	// OpRemoveEdge (Weight is OpAddEdge-only).
+	From, To NodeID
+	Label    string
+	Weight   float64
+}
+
+// DefaultDeltaLogLimit is the default bound on the retained delta window.
+// The log may transiently hold up to twice this many entries (trimming is
+// amortized), so ChangesSince can serve any version within at least the last
+// DefaultDeltaLogLimit mutations.
+const DefaultDeltaLogLimit = 4096
+
+// SetDeltaLogLimit bounds the retained delta window to at least limit
+// mutations (0 keeps the current limit; negative disables logging entirely,
+// forcing every snapshot advance down the full-clone path). Shrinking the
+// window drops the oldest entries immediately.
+func (g *Graph) SetDeltaLogLimit(limit int) {
+	if limit == 0 {
+		return
+	}
+	g.deltaLimit = limit
+	if limit < 0 {
+		g.deltas = nil
+		g.deltaBase = g.version.Load()
+		return
+	}
+	g.trimDeltas()
+}
+
+// record appends one delta after its mutation bumped the version counter,
+// preserving the invariant len(deltas) == Version() - deltaBase.
+func (g *Graph) record(d Delta) {
+	if g.deltaLimit < 0 {
+		g.deltaBase = g.version.Load()
+		return
+	}
+	g.deltas = append(g.deltas, d)
+	g.trimDeltas()
+}
+
+// trimDeltas drops the oldest entries once the log exceeds twice its limit,
+// keeping trims amortized O(1) per mutation while always retaining at least
+// deltaLimit entries.
+func (g *Graph) trimDeltas() {
+	limit := g.deltaLimit
+	if limit <= 0 {
+		limit = DefaultDeltaLogLimit
+	}
+	if len(g.deltas) <= 2*limit {
+		return
+	}
+	drop := len(g.deltas) - limit
+	g.deltaBase += uint64(drop)
+	g.deltas = append(g.deltas[:0], g.deltas[drop:]...)
+}
+
+// ChangesSince returns the deltas that advance the graph from the given
+// version to its current version, oldest first. ok is false when the window
+// no longer reaches back that far (or version is from the future), in which
+// case the caller must fall back to a full Clone. The returned slice is a
+// copy. Like all mutating/bulk accessors it requires external
+// synchronization with mutators; only Version itself is lock-free.
+func (g *Graph) ChangesSince(version uint64) (deltas []Delta, ok bool) {
+	cur := g.version.Load()
+	if version == cur {
+		return nil, true
+	}
+	if version > cur || version < g.deltaBase {
+		return nil, false
+	}
+	return append([]Delta(nil), g.deltas[version-g.deltaBase:]...), true
+}
+
+// Apply replays one recorded delta onto g — typically a private clone being
+// fast-forwarded to a newer version instead of being re-cloned from scratch.
+// Deltas must be applied in the order ChangesSince returned them; an error
+// means the clone has diverged from the log and must be discarded.
+func (g *Graph) Apply(d Delta) error {
+	switch d.Op {
+	case OpAddNode:
+		_, err := g.AddNode(d.Name, d.Attrs.Clone())
+		return err
+	case OpAddEdge:
+		_, err := g.AddWeightedEdge(d.From, d.To, d.Label, d.Weight)
+		return err
+	case OpRemoveEdge:
+		l, ok := g.labels.lookup(d.Label)
+		if !ok {
+			return fmt.Errorf("graph: apply remove-edge: unknown label %q", d.Label)
+		}
+		e := g.FindEdge(d.From, d.To, l)
+		if e == InvalidEdge {
+			return fmt.Errorf("graph: apply remove-edge: no %s edge %d -> %d", d.Label, d.From, d.To)
+		}
+		return g.RemoveEdge(e)
+	case OpCompact:
+		g.CompactTombstones()
+		return nil
+	default:
+		return fmt.Errorf("graph: unknown delta op %d", uint8(d.Op))
+	}
+}
+
+// NumTombstones returns the number of removed (tombstoned) edges still
+// occupying slots in the edge store.
+func (g *Graph) NumTombstones() int { return len(g.edges) - g.live }
+
+// CompactTombstones rebuilds the edge store without tombstoned edges,
+// renumbering the surviving edges densely. It invalidates every externally
+// held EdgeID (Node IDs are untouched), bumps the version and logs an
+// OpCompact delta, so snapshot clones advanced through the log compact
+// their own tombstones at the same point in history. It returns the number
+// of tombstones dropped; a tombstone-free graph is left untouched.
+func (g *Graph) CompactTombstones() int {
+	dead := g.NumTombstones()
+	if dead == 0 {
+		return 0
+	}
+	edges := make([]Edge, 0, g.live)
+	for i := range g.out {
+		g.out[i] = g.out[i][:0]
+	}
+	for i := range g.in {
+		g.in[i] = g.in[i][:0]
+	}
+	for _, e := range g.edges {
+		if e.deleted {
+			continue
+		}
+		e.ID = EdgeID(len(edges))
+		edges = append(edges, e)
+		g.out[e.From] = append(g.out[e.From], e.ID)
+		g.in[e.To] = append(g.in[e.To], e.ID)
+	}
+	g.edges = edges
+	g.version.Add(1)
+	g.record(Delta{Op: OpCompact})
+	return dead
+}

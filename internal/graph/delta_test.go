@@ -1,0 +1,217 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// edgeKey is the clone-stable identity of a live edge.
+type edgeKey struct {
+	from, to string
+	label    string
+}
+
+func liveEdges(t *testing.T, g *Graph) map[edgeKey]float64 {
+	t.Helper()
+	out := make(map[edgeKey]float64)
+	g.Edges(func(e Edge) bool {
+		k := edgeKey{g.Node(e.From).Name, g.Node(e.To).Name, g.LabelName(e.Label)}
+		if _, dup := out[k]; dup {
+			t.Fatalf("duplicate live edge %+v", k)
+		}
+		out[k] = e.Weight
+		return true
+	})
+	return out
+}
+
+// assertSameGraph compares two graphs by clone-stable identity: node names
+// with attributes, and the live edge set.
+func assertSameGraph(t *testing.T, got, want *Graph) {
+	t.Helper()
+	if got.NumNodes() != want.NumNodes() {
+		t.Fatalf("nodes = %d, want %d", got.NumNodes(), want.NumNodes())
+	}
+	want.Nodes(func(n Node) bool {
+		id, ok := got.NodeByName(n.Name)
+		if !ok {
+			t.Fatalf("node %q missing", n.Name)
+		}
+		gn := got.Node(id)
+		for _, k := range n.Attrs.Keys() {
+			wv, _ := n.Attrs.Get(k)
+			gv, ok := gn.Attrs.Get(k)
+			if !ok || !gv.Equal(wv) {
+				t.Fatalf("node %q attr %q = %v, want %v", n.Name, k, gv, wv)
+			}
+		}
+		return true
+	})
+	ge, we := liveEdges(t, got), liveEdges(t, want)
+	if len(ge) != len(we) {
+		t.Fatalf("edges = %d, want %d", len(ge), len(we))
+	}
+	for k, w := range we {
+		gw, ok := ge[k]
+		if !ok {
+			t.Fatalf("edge %+v missing", k)
+		}
+		if gw != w {
+			t.Fatalf("edge %+v weight = %v, want %v", k, gw, w)
+		}
+	}
+}
+
+// TestDeltaAdvanceEquivalence replays a randomized mutation trace and checks
+// that a clone advanced through the delta log matches a fresh clone.
+func TestDeltaAdvanceEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := New()
+	labels := []string{"friend", "colleague", "parent"}
+	for i := 0; i < 20; i++ {
+		g.MustAddNode(fmt.Sprintf("n%02d", i), Attrs{"age": Int(20 + i)})
+	}
+	mutate := func() {
+		switch rng.Intn(5) {
+		case 0:
+			name := fmt.Sprintf("n%02d", g.NumNodes())
+			g.MustAddNode(name, Attrs{"city": String("paris")})
+		case 1, 2:
+			from := NodeID(rng.Intn(g.NumNodes()))
+			to := NodeID(rng.Intn(g.NumNodes()))
+			if from != to {
+				_, _ = g.AddWeightedEdge(from, to, labels[rng.Intn(len(labels))], float64(rng.Intn(10)))
+			}
+		case 3:
+			// Remove a random live edge, if any.
+			var victim EdgeID = InvalidEdge
+			n := 0
+			g.Edges(func(e Edge) bool {
+				n++
+				if rng.Intn(n) == 0 {
+					victim = e.ID
+				}
+				return true
+			})
+			if victim != InvalidEdge {
+				if err := g.RemoveEdge(victim); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 4:
+			g.CompactTombstones()
+		}
+	}
+	for i := 0; i < 50; i++ {
+		mutate()
+	}
+	clone := g.Clone()
+	base := g.Version()
+	for i := 0; i < 200; i++ {
+		mutate()
+	}
+	deltas, ok := g.ChangesSince(base)
+	if !ok {
+		t.Fatalf("ChangesSince(%d) window lost after %d mutations", base, 200)
+	}
+	for i, d := range deltas {
+		if err := clone.Apply(d); err != nil {
+			t.Fatalf("apply delta %d (%s): %v", i, d.Op, err)
+		}
+	}
+	assertSameGraph(t, clone, g.Clone())
+}
+
+func TestChangesSinceWindow(t *testing.T) {
+	g := New()
+	g.SetDeltaLogLimit(8)
+	for i := 0; i < 40; i++ {
+		g.MustAddNode(fmt.Sprintf("w%02d", i), nil)
+	}
+	if _, ok := g.ChangesSince(0); ok {
+		t.Fatal("window should have trimmed version 0")
+	}
+	if _, ok := g.ChangesSince(g.Version() + 1); ok {
+		t.Fatal("future version must not be servable")
+	}
+	deltas, ok := g.ChangesSince(g.Version() - 4)
+	if !ok || len(deltas) != 4 {
+		t.Fatalf("recent window = (%d, %v), want (4, true)", len(deltas), ok)
+	}
+	if deltas, ok = g.ChangesSince(g.Version()); !ok || len(deltas) != 0 {
+		t.Fatalf("current version = (%d, %v), want (0, true)", len(deltas), ok)
+	}
+}
+
+func TestSetDeltaLogLimitDisable(t *testing.T) {
+	g := New()
+	g.SetDeltaLogLimit(-1)
+	a := g.MustAddNode("a", nil)
+	b := g.MustAddNode("b", nil)
+	base := g.Version()
+	g.MustAddEdge(a, b, "friend")
+	if _, ok := g.ChangesSince(base); ok {
+		t.Fatal("disabled log must not serve past versions")
+	}
+	if _, ok := g.ChangesSince(g.Version()); !ok {
+		t.Fatal("current version is always servable")
+	}
+}
+
+func TestCompactTombstones(t *testing.T) {
+	g := New()
+	for i := 0; i < 10; i++ {
+		g.MustAddNode(fmt.Sprintf("c%02d", i), nil)
+	}
+	var ids []EdgeID
+	for i := 0; i < 9; i++ {
+		ids = append(ids, g.MustAddEdge(NodeID(i), NodeID(i+1), "friend"))
+	}
+	clone := g.Clone()
+	base := g.Version()
+	for i := 0; i < 6; i++ {
+		if err := g.RemoveEdge(ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := g.NumTombstones(); got != 6 {
+		t.Fatalf("tombstones = %d, want 6", got)
+	}
+	v := g.Version()
+	if dropped := g.CompactTombstones(); dropped != 6 {
+		t.Fatalf("compacted %d, want 6", dropped)
+	}
+	if g.NumTombstones() != 0 || g.NumEdges() != 3 {
+		t.Fatalf("after compact: %d tombstones, %d edges", g.NumTombstones(), g.NumEdges())
+	}
+	if g.Version() != v+1 {
+		t.Fatalf("compact must bump version: %d -> %d", v, g.Version())
+	}
+	if g.CompactTombstones() != 0 {
+		t.Fatal("second compact must be a no-op")
+	}
+	// Edge IDs are dense again and adjacency is consistent.
+	seen := 0
+	g.Edges(func(e Edge) bool {
+		if int(e.ID) != seen {
+			t.Fatalf("edge ID %d at position %d", e.ID, seen)
+		}
+		if g.FindEdge(e.From, e.To, e.Label) != e.ID {
+			t.Fatalf("adjacency lost edge %d", e.ID)
+		}
+		seen++
+		return true
+	})
+	// A clone advanced through the log (removals + compact) matches.
+	deltas, ok := g.ChangesSince(base)
+	if !ok {
+		t.Fatal("window lost")
+	}
+	for _, d := range deltas {
+		if err := clone.Apply(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertSameGraph(t, clone, g)
+}

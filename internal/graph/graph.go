@@ -63,6 +63,15 @@ type Graph struct {
 	// holding the mutator's lock; all other fields still require external
 	// synchronization between mutators and readers.
 	version atomic.Uint64
+	// deltas is the bounded mutation log backing ChangesSince: deltas[i]
+	// is the mutation that advanced the version from deltaBase+i to
+	// deltaBase+i+1. Clones advanced through the log skip the O(V+E)
+	// re-clone a mutation would otherwise force on the next snapshot.
+	deltas    []Delta
+	deltaBase uint64
+	// deltaLimit bounds the retained window (0 means
+	// DefaultDeltaLogLimit; negative disables logging).
+	deltaLimit int
 }
 
 // New returns an empty social network graph.
@@ -101,6 +110,7 @@ func (g *Graph) AddNode(name string, attrs Attrs) (NodeID, error) {
 	g.in = append(g.in, nil)
 	g.byName[name] = id
 	g.version.Add(1)
+	g.record(Delta{Op: OpAddNode, Name: name, Attrs: attrs})
 	return id, nil
 }
 
@@ -180,6 +190,7 @@ func (g *Graph) AddWeightedEdge(from, to NodeID, label string, weight float64) (
 	g.in[to] = append(g.in[to], id)
 	g.live++
 	g.version.Add(1)
+	g.record(Delta{Op: OpAddEdge, From: from, To: to, Label: label, Weight: weight})
 	return id, nil
 }
 
@@ -198,9 +209,11 @@ func (g *Graph) RemoveEdge(id EdgeID) error {
 	if int(id) >= len(g.edges) || g.edges[id].deleted {
 		return fmt.Errorf("graph: no live edge %d", id)
 	}
+	e := g.edges[id]
 	g.edges[id].deleted = true
 	g.live--
 	g.version.Add(1)
+	g.record(Delta{Op: OpRemoveEdge, From: e.From, To: e.To, Label: g.labels.name(e.Label)})
 	return nil
 }
 

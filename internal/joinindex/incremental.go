@@ -1,0 +1,146 @@
+package joinindex
+
+import (
+	"reachac/internal/graph"
+)
+
+// maxInsertFanPairs caps the predecessor-comp × successor-comp cycle check
+// one incremental edge insertion performs; beyond it (hub endpoints) a full
+// rebuild is cheaper than the quadratic reachability probing.
+const maxInsertFanPairs = 4096
+
+// ApplyDelta implements core.IncrementalEvaluator for the anchored
+// evaluation strategy, finally wiring the paper-faithful incremental 2-hop
+// cover insertion (twohop.Cover.Insert, the resume-BFS scheme of
+// insert.go) into the index pipeline for edge additions.
+//
+// Accepted incrementally:
+//
+//   - node additions — an isolated member produces no line node and cannot
+//     satisfy any path, so nothing changes;
+//   - edge additions whose new line node does not close a cycle in the line
+//     graph: the line graph, SCC partition, condensation DAG and 2-hop
+//     cover are all extended in place, each new DAG edge integrated with
+//     Cover.Insert.
+//
+// Everything else declines (returns false), forcing the caller to rebuild —
+// correctness by construction: edge removals would shrink 2-hop labels,
+// compactions renumber the edge IDs the line graph indexes, cycle-closing
+// insertions merge SCCs, and the literal paper-join strategy reads the base
+// tables / W-table / clusters, which incremental growth does not maintain.
+// When the anchored strategy runs with look-ahead disabled (as Build gates
+// it on reciprocity-heavy graphs) evaluation reads only the social graph,
+// so every delta batch is absorbed trivially.
+//
+// After the first incremental batch the stale interval labeling is bypassed
+// (see lineReach) and the exact cover prunes alone.
+func (idx *Index) ApplyDelta(g *graph.Graph, deltas []graph.Delta) bool {
+	if idx.g != g {
+		return false
+	}
+	if idx.opts.Strategy == EvalPaperJoin {
+		return false
+	}
+	if idx.opts.DisableLookahead {
+		// Anchored evaluation without look-ahead walks g directly and
+		// consults none of the index structures.
+		idx.builtAt = g.Version()
+		return true
+	}
+	// Pre-scan: any unsupported op declines before structures are touched.
+	for _, d := range deltas {
+		if d.Op != graph.OpAddNode && d.Op != graph.OpAddEdge {
+			return false
+		}
+	}
+	for _, d := range deltas {
+		if d.Op == graph.OpAddEdge && !idx.insertEdge(d) {
+			// Partially-advanced structures are fine: the caller discards
+			// the index and rebuilds on decline.
+			return false
+		}
+	}
+	idx.builtAt = g.Version()
+	return true
+}
+
+// insertEdge integrates one added social edge into the line graph,
+// partition, DAG and 2-hop cover, or reports false to force a rebuild.
+func (idx *Index) insertEdge(d graph.Delta) bool {
+	label, ok := idx.g.LookupLabel(d.Label)
+	if !ok {
+		return false
+	}
+	eid := idx.g.FindEdge(d.From, d.To, label)
+	if eid == graph.InvalidEdge || idx.l.Forward(eid) >= 0 {
+		return false // log and graph diverged
+	}
+	// Line nodes adjacent to the new one (and their condensation
+	// vertices): predecessors come from edges into d.From, successors from
+	// edges out of d.To. Edges from later in the same batch have no line
+	// node yet (Forward returns -1) and wire both sides when their own
+	// turn comes.
+	var predLine, succLine []int32
+	var predComps, succComps []int
+	idx.g.InEdges(d.From, func(p graph.Edge) bool {
+		if ln := idx.l.Forward(p.ID); ln >= 0 {
+			predLine = append(predLine, ln)
+			predComps = appendComp(predComps, idx.comp(ln))
+		}
+		return true
+	})
+	idx.g.OutEdges(d.To, func(s graph.Edge) bool {
+		if ln := idx.l.Forward(s.ID); ln >= 0 {
+			succLine = append(succLine, ln)
+			succComps = appendComp(succComps, idx.comp(ln))
+		}
+		return true
+	})
+	if len(predComps)*len(succComps) > maxInsertFanPairs {
+		return false
+	}
+	// The new line node closes a cycle iff some successor already reaches
+	// some predecessor (including succ == pred); that would merge SCCs,
+	// which in-place growth cannot represent.
+	for _, s := range succComps {
+		for _, p := range predComps {
+			if s == p || idx.cover.Reachable(s, p) {
+				return false
+			}
+		}
+	}
+	// Commit: grow every layer by one vertex...
+	ln := idx.l.AddForwardNode(idx.g.Edge(eid), predLine, succLine)
+	c := idx.cover.AddVertex()
+	idx.parts.Comp = append(idx.parts.Comp, c)
+	idx.parts.Members = append(idx.parts.Members, []int{int(ln)})
+	idx.parts.Rep = append(idx.parts.Rep, int(ln))
+	idx.parts.NumComp++
+	idx.dag.Grow(1)
+	idx.dagRev.Grow(1)
+	// ...then integrate each new DAG edge with the resumed pruned BFS,
+	// keeping the cover exact after every single insertion.
+	for _, p := range predComps {
+		idx.dag.AddEdge(p, c)
+		idx.dagRev.AddEdge(c, p)
+		idx.cover.Insert(idx.dag, idx.dagRev, p, c)
+	}
+	for _, s := range succComps {
+		idx.dag.AddEdge(c, s)
+		idx.dagRev.AddEdge(s, c)
+		idx.cover.Insert(idx.dag, idx.dagRev, c, s)
+	}
+	idx.incremental = true
+	return true
+}
+
+// appendComp adds c to the slice unless already present (fan-outs are small
+// enough that a linear scan beats a map).
+func appendComp(comps []int, c int) []int {
+	for _, have := range comps {
+		if have == c {
+			return comps
+		}
+	}
+	return append(comps, c)
+}

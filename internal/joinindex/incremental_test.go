@@ -1,0 +1,211 @@
+package joinindex
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"reachac/internal/graph"
+	"reachac/internal/pathexpr"
+	"reachac/internal/search"
+)
+
+// acyclicGraph builds a random graph whose edges all run from higher to
+// lower node ids (the follow/hierarchy family), so its line graph is
+// acyclic and incremental insertion never hits the SCC-merge fallback.
+func acyclicGraph(t *testing.T, rng *rand.Rand, n, m int) *graph.Graph {
+	t.Helper()
+	labels := []string{"friend", "colleague", "parent"}
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.MustAddNode(fmt.Sprintf("v%03d", i), nil)
+	}
+	for added := 0; added < m; {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if u < v {
+			u, v = v, u
+		}
+		if _, err := g.AddEdge(graph.NodeID(u), graph.NodeID(v), labels[rng.Intn(len(labels))]); err == nil {
+			added++
+		}
+	}
+	return g
+}
+
+// TestApplyDeltaAgreement grows an acyclic graph under a built index and
+// checks every post-advance decision against the online oracle and a
+// freshly rebuilt index.
+func TestApplyDeltaAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := acyclicGraph(t, rng, 24, 60)
+	idx, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.opts.DisableLookahead {
+		t.Fatal("acyclic line graph must keep look-ahead on for this test")
+	}
+	oracle := search.New(g)
+	queries := []string{
+		"friend+[1,3]",
+		"friend+[1]/colleague+[1]",
+		"friend-[2]",
+		"colleague+[1,*]",
+		"friend*[1,2]/parent*[1]",
+	}
+	labels := []string{"friend", "colleague", "parent"}
+	for round := 0; round < 10; round++ {
+		base := g.Version()
+		for m := 0; m < 4; m++ {
+			u, v := rng.Intn(g.NumNodes()), rng.Intn(g.NumNodes())
+			if u == v {
+				continue
+			}
+			if u < v {
+				u, v = v, u
+			}
+			_, _ = g.AddEdge(graph.NodeID(u), graph.NodeID(v), labels[rng.Intn(len(labels))])
+		}
+		if rng.Intn(3) == 0 {
+			// A node-only delta must also be absorbed.
+			g.MustAddNode(fmt.Sprintf("x%03d", g.NumNodes()), nil)
+		}
+		deltas, ok := g.ChangesSince(base)
+		if !ok {
+			t.Fatal("delta window trimmed")
+		}
+		if !idx.ApplyDelta(g, deltas) {
+			t.Fatalf("round %d: ApplyDelta declined acyclic insertions", round)
+		}
+		fresh, err := Build(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range queries {
+			p := pathexpr.MustParse(q)
+			for o := 0; o < g.NumNodes(); o++ {
+				for r := 0; r < g.NumNodes(); r++ {
+					oid, rid := graph.NodeID(o), graph.NodeID(r)
+					want, err := oracle.Reachable(oid, rid, p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := idx.Reachable(oid, rid, p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != want {
+						t.Fatalf("round %d (%d,%d,%s): incremental=%v oracle=%v", round, o, r, q, got, want)
+					}
+					if fgot, _ := fresh.Reachable(oid, rid, p); fgot != got {
+						t.Fatalf("round %d (%d,%d,%s): incremental=%v fresh=%v", round, o, r, q, got, fgot)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestApplyDeltaDeclines pins the fallback conditions: cycle-closing
+// insertions, removals, the paper-join strategy, and foreign graphs.
+func TestApplyDeltaDeclines(t *testing.T) {
+	g := graph.New()
+	a := g.MustAddNode("a", nil)
+	b := g.MustAddNode("b", nil)
+	c := g.MustAddNode("c", nil)
+	g.MustAddEdge(a, b, "friend")
+	g.MustAddEdge(b, c, "friend")
+	idx, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A reciprocal edge closes a 2-cycle in the line graph: declined.
+	base := g.Version()
+	g.MustAddEdge(b, a, "friend")
+	deltas, _ := g.ChangesSince(base)
+	if idx.ApplyDelta(g, deltas) {
+		t.Fatal("cycle-closing insertion must decline")
+	}
+
+	// Removals decline (2-hop labels cannot shrink incrementally).
+	idx, err = Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base = g.Version()
+	if err := g.RemoveEdge(g.FindEdge(b, a, g.Label("friend"))); err != nil {
+		t.Fatal(err)
+	}
+	deltas, _ = g.ChangesSince(base)
+	if idx.ApplyDelta(g, deltas) {
+		t.Fatal("edge removal must decline")
+	}
+
+	// The literal paper-join strategy reads tables incremental growth does
+	// not maintain: always declined.
+	pj, err := Build(g, Options{Strategy: EvalPaperJoin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base = g.Version()
+	g.MustAddEdge(c, a, "colleague")
+	deltas, _ = g.ChangesSince(base)
+	if pj.ApplyDelta(g, deltas) {
+		t.Fatal("paper-join strategy must decline")
+	}
+
+	// Foreign graph: declined.
+	other := g.Clone()
+	obase := other.Version()
+	other.MustAddNode("z", nil)
+	odeltas, _ := other.ChangesSince(obase)
+	idx2, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx2.ApplyDelta(other, odeltas) {
+		t.Fatal("foreign graph must decline")
+	}
+}
+
+// TestApplyDeltaLookaheadDisabled pins that an anchored index built with
+// look-ahead off absorbs any batch (it reads only the social graph),
+// including removals, and stays exact.
+func TestApplyDeltaLookaheadDisabled(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := acyclicGraph(t, rng, 16, 40)
+	idx, err := Build(g, Options{DisableLookahead: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := g.Version()
+	g.MustAddEdge(graph.NodeID(3), graph.NodeID(9), "friend")
+	if err := g.RemoveEdge(graph.EdgeID(0)); err != nil {
+		t.Fatal(err)
+	}
+	deltas, _ := g.ChangesSince(base)
+	if !idx.ApplyDelta(g, deltas) {
+		t.Fatal("lookahead-off anchored index must absorb any batch")
+	}
+	oracle := search.New(g)
+	p := pathexpr.MustParse("friend+[1,3]")
+	for o := 0; o < g.NumNodes(); o++ {
+		for r := 0; r < g.NumNodes(); r++ {
+			want, err := oracle.Reachable(graph.NodeID(o), graph.NodeID(r), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := idx.Reachable(graph.NodeID(o), graph.NodeID(r), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("(%d,%d): got %v oracle %v", o, r, got, want)
+			}
+		}
+	}
+}

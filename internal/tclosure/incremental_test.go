@@ -1,0 +1,167 @@
+package tclosure
+
+import (
+	"math/rand"
+	"testing"
+
+	"reachac/internal/graph"
+	"reachac/internal/pathexpr"
+	"reachac/internal/search"
+)
+
+// applySince fetches and applies the deltas recorded since base, failing
+// the test if the window was trimmed or the engine declines.
+func applySince(t *testing.T, e *Engine, g *graph.Graph, base uint64) {
+	t.Helper()
+	deltas, ok := g.ChangesSince(base)
+	if !ok {
+		t.Fatal("delta window trimmed")
+	}
+	if !e.ApplyDelta(g, deltas) {
+		t.Fatalf("ApplyDelta declined batch of %d", len(deltas))
+	}
+}
+
+// TestApplyDeltaAgreement randomly mutates a graph the engine was built
+// over, advances the engine through the delta log, and checks every
+// decision against the online oracle and a freshly built engine.
+func TestApplyDeltaAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	labels := []string{"friend", "colleague", "parent"}
+	queries := []string{
+		"friend+[1,3]",
+		"friend+[1]/colleague+[1]",
+		"friend-[2]",
+		"friend*[1,2]/parent*[1]",
+		"colleague+[1,*]",
+		"friend+[1,2]{age>=18}",
+	}
+	const n = 14
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		var attrs graph.Attrs
+		if rng.Intn(2) == 0 {
+			attrs = graph.Attrs{"age": graph.Int(10 + rng.Intn(50))}
+		}
+		g.MustAddNode(nameOf(i), attrs)
+	}
+	var edges []graph.EdgeID
+	for i := 0; i < n*2; i++ {
+		u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if id, err := g.AddEdge(u, v, labels[rng.Intn(len(labels))]); err == nil {
+			edges = append(edges, id)
+		}
+	}
+	e := New(g)
+	oracle := search.New(g)
+	for round := 0; round < 15; round++ {
+		base := g.Version()
+		// Warm some closures so invalidation is exercised, not just
+		// construction.
+		if _, err := e.Reachable(0, 1, pathexpr.MustParse("friend+[1,*]")); err != nil {
+			t.Fatal(err)
+		}
+		for m := 0; m < 3; m++ {
+			if rng.Intn(3) > 0 || len(edges) == 0 {
+				u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+				if u == v {
+					continue
+				}
+				if id, err := g.AddEdge(u, v, labels[rng.Intn(len(labels))]); err == nil {
+					edges = append(edges, id)
+				}
+			} else {
+				i := rng.Intn(len(edges))
+				if g.EdgeAlive(edges[i]) {
+					if err := g.RemoveEdge(edges[i]); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		applySince(t, e, g, base)
+		fresh := New(g)
+		for _, q := range queries {
+			p := pathexpr.MustParse(q)
+			for o := 0; o < n; o++ {
+				for r := 0; r < n; r++ {
+					oid, rid := graph.NodeID(o), graph.NodeID(r)
+					want, err := oracle.Reachable(oid, rid, p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := e.Reachable(oid, rid, p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != want {
+						t.Fatalf("round %d (%d,%d,%s): incremental=%v oracle=%v", round, o, r, q, got, want)
+					}
+					if fgot, _ := fresh.Reachable(oid, rid, p); fgot != got {
+						t.Fatalf("round %d (%d,%d,%s): incremental=%v fresh=%v", round, o, r, q, got, fgot)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestApplyDeltaNewNodesAndLabels covers acceptance of node-only batches
+// (new members are unreachable until an edge arrives) and of edges with a
+// label the engine has never seen, plus the decline on edges touching nodes
+// beyond the matrices' width.
+func TestApplyDeltaNewNodesAndLabels(t *testing.T) {
+	g := graph.New()
+	a := g.MustAddNode("a", nil)
+	b := g.MustAddNode("b", nil)
+	g.MustAddEdge(a, b, "friend")
+	e := New(g)
+
+	// Node-only batch: accepted, new node unreachable.
+	base := g.Version()
+	c := g.MustAddNode("c", nil)
+	applySince(t, e, g, base)
+	if ok, err := e.Reachable(a, c, pathexpr.MustParse("friend+[1,2]")); err != nil || ok {
+		t.Fatalf("isolated new node reachable = (%v, %v)", ok, err)
+	}
+	if ok, err := e.Reachable(c, a, pathexpr.MustParse("friend+[1]")); err != nil || ok {
+		t.Fatalf("isolated new node reaches = (%v, %v)", ok, err)
+	}
+
+	// Edge with a brand-new label between old nodes: accepted.
+	base = g.Version()
+	g.MustAddEdge(b, a, "mentor")
+	applySince(t, e, g, base)
+	if ok, err := e.Reachable(b, a, pathexpr.MustParse("mentor+[1]")); err != nil || !ok {
+		t.Fatalf("new-label edge = (%v, %v), want (true, nil)", ok, err)
+	}
+
+	// Edge incident to the new node: declined (matrices are too narrow).
+	base = g.Version()
+	g.MustAddEdge(a, c, "friend")
+	deltas, ok := g.ChangesSince(base)
+	if !ok {
+		t.Fatal("window trimmed")
+	}
+	if e.ApplyDelta(g, deltas) {
+		t.Fatal("edge beyond matrix width must decline")
+	}
+}
+
+// TestApplyDeltaWrongGraph pins that an engine refuses deltas for a graph
+// it was not built over.
+func TestApplyDeltaWrongGraph(t *testing.T) {
+	g := graph.New()
+	g.MustAddNode("a", nil)
+	e := New(g)
+	other := g.Clone()
+	base := other.Version()
+	other.MustAddNode("b", nil)
+	deltas, _ := other.ChangesSince(base)
+	if e.ApplyDelta(other, deltas) {
+		t.Fatal("foreign graph must decline")
+	}
+}

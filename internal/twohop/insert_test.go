@@ -8,6 +8,65 @@ import (
 	"reachac/internal/digraph"
 )
 
+// TestAddVertexInsert grows a pruned cover vertex by vertex — each new
+// vertex wired with Insert, the way incremental index maintenance does —
+// and checks the Definition 6 property against the BFS oracle after every
+// growth step.
+func TestAddVertexInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const n0, steps = 12, 10
+	// Seed DAG: edges run high -> low so growth never closes a cycle.
+	d := digraph.New(n0)
+	for i := 0; i < n0*2; i++ {
+		u, v := rng.Intn(n0), rng.Intn(n0)
+		if u == v {
+			continue
+		}
+		if u < v {
+			u, v = v, u
+		}
+		d.AddEdge(u, v)
+	}
+	rev := d.Reverse()
+	c := Pruned(d)
+	verify := func(stage int) {
+		t.Helper()
+		for u := 0; u < d.N(); u++ {
+			set := d.ReachableSet(u)
+			for v := 0; v < d.N(); v++ {
+				if got := c.Reachable(u, v); got != set[v] {
+					t.Fatalf("stage %d: Reachable(%d,%d)=%v oracle=%v", stage, u, v, got, set[v])
+				}
+			}
+		}
+	}
+	verify(-1)
+	for s := 0; s < steps; s++ {
+		x := d.Grow(1)
+		rev.Grow(1)
+		if got := c.AddVertex(); got != x {
+			t.Fatalf("AddVertex = %d, want %d", got, x)
+		}
+		// Wire a few predecessors (old -> x) and successors (x -> old is a
+		// cycle risk in general, so only use strictly older targets that x
+		// cannot already reach from; with x brand new any direction is
+		// acyclic as long as we do not add both for one partner).
+		partners := rng.Perm(x)[:1+rng.Intn(3)]
+		for _, p := range partners {
+			if rng.Intn(2) == 0 {
+				d.AddEdge(p, x)
+				rev.AddEdge(x, p)
+				c.Insert(d, rev, p, x)
+			} else {
+				d.AddEdge(x, p)
+				rev.AddEdge(p, x)
+				c.Insert(d, rev, x, p)
+			}
+		}
+		verify(s)
+	}
+}
+
 // mirror maintains a digraph and its reverse together.
 type mirror struct {
 	d, rev *digraph.D

@@ -49,7 +49,7 @@ func TestConcurrentStress(t *testing.T) {
 			if kind == Index || kind == IndexPaperJoin {
 				reads, mutations = 40, 20
 			}
-			errc := make(chan error, readers+2)
+			errc := make(chan error, readers+3)
 			var wg sync.WaitGroup
 
 			// Edge mutator: flips one chord on and off.
@@ -79,6 +79,31 @@ func TestConcurrentStress(t *testing.T) {
 					}
 					if !n.Revoke("album", rid) {
 						errc <- fmt.Errorf("rule %s vanished before revoke", rid)
+						return
+					}
+				}
+			}()
+			// Batch mutator: coalesced edge flips racing the readers, so the
+			// delta-advance steal of a retired clone runs under the race
+			// detector against in-flight snapshot readers.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < mutations; i++ {
+					err := n.Batch(func(tx *Tx) error {
+						if err := tx.Relate(ids[10], ids[25], "friend"); err != nil {
+							return err
+						}
+						if err := tx.Relate(ids[11], ids[26], "friend"); err != nil {
+							return err
+						}
+						if err := tx.Unrelate(ids[10], ids[25], "friend"); err != nil {
+							return err
+						}
+						return tx.Unrelate(ids[11], ids[26], "friend")
+					})
+					if err != nil {
+						errc <- err
 						return
 					}
 				}

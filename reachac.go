@@ -98,7 +98,15 @@ type Evaluator = core.Evaluator
 // published through an atomic pointer, so they proceed concurrently with
 // zero lock contention. Mutations (AddUser, Relate, Unrelate, Share, …)
 // serialize on an internal lock and bump version counters; the first read
-// after a change republished the snapshot once, off the common hot path.
+// after a change republishes the snapshot once, off the common hot path.
+//
+// Republication is incremental whenever possible: mutations are recorded in
+// the graph's bounded delta log, and once the previous snapshot's readers
+// have drained, its clone is fast-forwarded by replaying the log (O(Δ) in
+// the number of mutations) instead of re-cloned from scratch (O(V+E)).
+// Evaluators that implement core.IncrementalEvaluator advance in place too;
+// the rest are rebuilt over the advanced clone. Use Batch to coalesce many
+// mutations into one republication.
 type Network struct {
 	// mu serializes mutations of the master graph and snapshot
 	// publication; readers never take it on the fast path.
@@ -115,6 +123,11 @@ type Network struct {
 	// snap is the published engine snapshot; nil until the first access
 	// check or UseEngine call.
 	snap atomic.Pointer[snapshot]
+	// spare is the most recently retired snapshot whose graph clone is not
+	// shared with the published one. Once its readers drain, publication
+	// fast-forwards its clone through the graph's delta log (O(Δ)) instead
+	// of re-cloning (O(V+E)); see publishLocked. Guarded by mu.
+	spare *snapshot
 }
 
 // New returns an empty network using the Online engine.
@@ -132,6 +145,11 @@ func newNetwork(g *graph.Graph, store *core.Store) *Network {
 func (n *Network) AddUser(name string, attrs ...Attr) (UserID, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	return n.addUserLocked(name, attrs)
+}
+
+// addUserLocked is AddUser's body, shared with Tx. Callers hold n.mu.
+func (n *Network) addUserLocked(name string, attrs []Attr) (UserID, error) {
 	var a graph.Attrs
 	if len(attrs) > 0 {
 		a = make(graph.Attrs, len(attrs))
@@ -174,12 +192,16 @@ func (n *Network) Relate(from, to UserID, relType string) error {
 }
 
 // RelateMutual adds the relationship in both directions (e.g. friendship on
-// symmetric networks).
+// symmetric networks), atomically: if the second direction cannot be added
+// (say, it already exists), the first is rolled back, so a mutual
+// relationship is never left half-applied.
 func (n *Network) RelateMutual(a, b UserID, relType string) error {
-	if err := n.Relate(a, b, relType); err != nil {
-		return err
-	}
-	return n.Relate(b, a, relType)
+	return n.Batch(func(tx *Tx) error {
+		if err := tx.Relate(a, b, relType); err != nil {
+			return err
+		}
+		return tx.Relate(b, a, relType)
+	})
 }
 
 // Unrelate removes a relationship; it is an error if absent.
@@ -309,6 +331,7 @@ func (n *Network) CanAccess(resource string, requester UserID) (Decision, error)
 	if err != nil {
 		return Decision{}, err
 	}
+	defer s.release()
 	return s.decide(core.ResourceID(resource), requester)
 }
 
@@ -323,6 +346,7 @@ func (n *Network) CheckPath(owner, requester UserID, expr string) (bool, error) 
 	if err != nil {
 		return false, err
 	}
+	defer s.release()
 	return s.eval.Reachable(owner, requester, p)
 }
 
@@ -369,5 +393,6 @@ func (n *Network) Audience(resource string) ([]UserID, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer s.release()
 	return s.store.Audience(core.ResourceID(resource), s.g, s.eval)
 }

@@ -43,7 +43,37 @@ type snapshot struct {
 	// limit.
 	cache    sync.Map
 	cacheLen atomic.Int64
+	// refs counts in-flight readers of the snapshot's graph clone. It is a
+	// pointer because a policy-only republication shares the previous
+	// snapshot's clone — the counter must then be shared too, so that a
+	// later steal of either snapshot's clone (see advanceSpareLocked)
+	// observes every reader of that graph.
+	refs *atomic.Int64
+	// retired is set (under Network.mu) once the snapshot has been
+	// replaced by a newer publication. A reader that acquires a retired
+	// snapshot backs off and reloads; combined with the refs count this
+	// lets the publisher prove a retired clone is unobserved before
+	// advancing it in place.
+	retired atomic.Bool
 }
+
+// acquire pins s for one read operation. It must be balanced by release.
+// The increment-then-check ordering closes the classic hazard window: if
+// the publisher observed refs == 0 after setting retired, any reader
+// incrementing later is guaranteed to observe retired and back off
+// (sequentially consistent atomics), so a clone is only ever advanced in
+// place when provably unobserved.
+func (s *snapshot) acquire() bool {
+	s.refs.Add(1)
+	if s.retired.Load() {
+		s.refs.Add(-1)
+		return false
+	}
+	return true
+}
+
+// release unpins the snapshot after a read operation.
+func (s *snapshot) release() { s.refs.Add(-1) }
 
 // maxCachedDecisions caps one snapshot's decision cache. Entries beyond the
 // cap are decided but not memoized; the cap is generous because an entry is
@@ -111,45 +141,100 @@ func buildEvaluator(kind EngineKind, g *graph.Graph) (Evaluator, error) {
 	}
 }
 
-// snapshot returns the current engine snapshot, publishing a fresh one if
-// the graph or policies changed since the last publication. The fast path
-// is two atomic loads and two atomic counter reads; only the first reader
-// after a change pays for the rebuild.
+// snapshot returns the current engine snapshot pinned for one read
+// operation (the caller must release it), publishing a fresh one if the
+// graph or policies changed since the last publication. The fast path is
+// two atomic loads, two atomic counter reads and one pin; only the first
+// reader after a change pays for the republication.
 func (n *Network) snapshot() (*snapshot, error) {
-	if s := n.snap.Load(); s != nil && s.current(n.g, n.store.Load()) {
-		return s, nil
+	for {
+		s := n.snap.Load()
+		if s == nil || !s.current(n.g, n.store.Load()) {
+			break
+		}
+		if s.acquire() {
+			return s, nil
+		}
+		// Retired under our feet: a newer snapshot is already published
+		// (retirement happens only after the replacing Store), so the next
+		// load observes it.
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.publishLocked()
+	s, err := n.publishLocked()
+	if err != nil {
+		return nil, err
+	}
+	// Under mu a snapshot cannot retire, so this acquire never fails.
+	s.acquire()
+	return s, nil
 }
+
+// tombstone compaction thresholds: a full rebuild compacts the master's
+// dead edges once at least compactMinDead of them make up over a fifth of
+// the edge store, so long-lived networks stop cloning tombstones forever.
+const compactMinDead = 64
 
 // publishLocked builds and publishes a snapshot of the current master
 // state. Callers must hold n.mu, which serializes it against mutators and
-// concurrent publishers. A policy-only change reuses the previous
-// snapshot's graph clone and evaluator; only the policy view and decision
-// cache are refreshed.
+// concurrent publishers.
+//
+// Publication cost, cheapest first:
+//
+//  1. policy-only change — the previous snapshot's graph clone and
+//     evaluator are reused (shared); only the policy view and decision
+//     cache are refreshed;
+//  2. delta advance — the retired spare snapshot's clone, once provably
+//     unobserved, is fast-forwarded by replaying the master's delta log
+//     (O(Δ)), and its evaluator advances in place when it implements
+//     core.IncrementalEvaluator;
+//  3. full rebuild — O(V+E) clone plus evaluator construction, the
+//     pre-delta behavior and the fallback whenever the spare is still
+//     referenced, the delta window was trimmed, or the evaluator declines
+//     the batch.
 func (n *Network) publishLocked() (*snapshot, error) {
 	store := n.store.Load()
+	cur := n.snap.Load()
+	if cur == nil || cur.version != n.g.Version() {
+		// The graph changed, so every path republishes its clone anyway;
+		// compact the master's tombstones first if they piled up (logged
+		// as a delta, so a spare advance compacts its clone at the same
+		// point in history).
+		if dead := n.g.NumTombstones(); dead >= compactMinDead && dead*4 >= n.g.NumEdges() {
+			n.g.CompactTombstones()
+		}
+	}
 	// Read both counters before cloning: a mutation racing the clone then
 	// at worst marks the new snapshot already stale (forcing one extra
 	// rebuild), never lets it linger as current with missing state.
 	gv, gen := n.g.Version(), store.Generation()
-	cur := n.snap.Load()
 	if cur != nil && cur.version == gv && cur.src == store && cur.gen == gen && cur.kind == n.kind {
 		return cur, nil
 	}
-	var gc *graph.Graph
-	var eval Evaluator
+	var (
+		gc   *graph.Graph
+		eval Evaluator
+		refs *atomic.Int64
+	)
 	if cur != nil && cur.version == gv && cur.kind == n.kind {
-		gc, eval = cur.g, cur.eval
-	} else {
+		// Policy-only change: share the clone, evaluator and reader count.
+		gc, eval, refs = cur.g, cur.eval, cur.refs
+	} else if agc, aeval := n.advanceSpareLocked(cur); agc != nil {
+		gc, eval = agc, aeval
+	}
+	if gc == nil {
 		gc = n.g.Clone()
+		// Private clones never serve ChangesSince (the master's log drives
+		// every advance), so don't let delta replays accumulate in them.
+		gc.SetDeltaLogLimit(-1)
 		var err error
 		eval, err = buildEvaluator(n.kind, gc)
 		if err != nil {
 			return nil, err
 		}
+	}
+	if refs == nil {
+		refs = new(atomic.Int64)
 	}
 	view := store.Clone()
 	s := &snapshot{
@@ -161,9 +246,72 @@ func (n *Network) publishLocked() (*snapshot, error) {
 		version: gv,
 		src:     store,
 		gen:     gen,
+		refs:    refs,
 	}
-	n.snap.Store(s)
+	old := n.snap.Swap(s)
+	if old != nil && old != s {
+		old.retired.Store(true)
+		if old.g != s.g {
+			// The outgoing snapshot's clone is not the one just published,
+			// so once its readers drain it becomes the next advance
+			// candidate. (After a policy-only share the clones are equal
+			// and the older spare, if any, stays on deck instead.)
+			n.spare = old
+		}
+	}
 	return s, nil
+}
+
+// advanceSpareLocked tries to satisfy a publication by fast-forwarding the
+// retired spare snapshot's private clone to the master's current version —
+// replaying the bounded delta log at O(Δ) instead of paying the O(V+E)
+// re-clone — and advancing its evaluator in place when possible. It returns
+// (nil, nil) when no spare is stealable: none exists, readers still hold
+// it, or the delta window has been trimmed past its version. Callers must
+// hold n.mu.
+func (n *Network) advanceSpareLocked(cur *snapshot) (*graph.Graph, Evaluator) {
+	spare := n.spare
+	if spare == nil {
+		return nil, nil
+	}
+	if cur != nil && cur.g == spare.g {
+		// Defensive: never advance a clone the published snapshot shares.
+		n.spare = nil
+		return nil, nil
+	}
+	if spare.refs.Load() != 0 {
+		// A reader still traverses the clone; keep the spare for a later
+		// publication and fall back to a full rebuild now.
+		return nil, nil
+	}
+	deltas, ok := n.g.ChangesSince(spare.version)
+	if !ok {
+		// The window no longer reaches back; the spare can only fall
+		// further behind, so drop it.
+		n.spare = nil
+		return nil, nil
+	}
+	// The spare is consumed either way: on any failure below its clone is
+	// partially advanced and must never be reused.
+	n.spare = nil
+	gc := spare.g
+	for _, d := range deltas {
+		if err := gc.Apply(d); err != nil {
+			return nil, nil
+		}
+	}
+	if spare.kind == n.kind {
+		if inc, isInc := spare.eval.(core.IncrementalEvaluator); isInc && inc.ApplyDelta(gc, deltas) {
+			return gc, spare.eval
+		}
+	}
+	// Evaluator declined (or the engine kind changed): the advanced clone
+	// is still sound, rebuild only the evaluator over it.
+	eval, err := buildEvaluator(n.kind, gc)
+	if err != nil {
+		return nil, nil
+	}
+	return gc, eval
 }
 
 // CanAccessAll decides access to one resource for many requesters in a
@@ -177,6 +325,7 @@ func (n *Network) CanAccessAll(resource string, requesters []UserID) ([]Decision
 	if err != nil {
 		return nil, err
 	}
+	defer s.release()
 	res := core.ResourceID(resource)
 	out := make([]Decision, len(requesters))
 	workers := runtime.GOMAXPROCS(0)

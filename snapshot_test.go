@@ -1,0 +1,190 @@
+package reachac
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// publish forces a publication via a read and returns the published
+// snapshot.
+func publish(t *testing.T, n *Network) *snapshot {
+	t.Helper()
+	if _, err := n.CanAccess("r", 0); err != nil {
+		t.Fatal(err)
+	}
+	return n.snap.Load()
+}
+
+// TestDeltaAdvanceRecyclesClone pins the ping-pong: after two publications
+// the retired clone is stolen and fast-forwarded instead of re-cloned, and
+// an incremental evaluator survives with it.
+func TestDeltaAdvanceRecyclesClone(t *testing.T) {
+	n := New()
+	ids := make([]UserID, 8)
+	for i := range ids {
+		ids[i] = n.MustAddUser(fmt.Sprintf("u%d", i))
+	}
+	if _, err := n.Share("r", ids[0], "friend+[1,2]"); err != nil {
+		t.Fatal(err)
+	}
+	s1 := publish(t, n)
+	if err := n.Relate(ids[0], ids[1], "friend"); err != nil {
+		t.Fatal(err)
+	}
+	s2 := publish(t, n)
+	if s2 == s1 || s2.g == s1.g {
+		t.Fatal("graph mutation must publish a fresh clone")
+	}
+	if err := n.Relate(ids[1], ids[2], "friend"); err != nil {
+		t.Fatal(err)
+	}
+	s3 := publish(t, n)
+	if s3.g != s1.g {
+		t.Fatal("third publication should delta-advance the retired clone")
+	}
+	if s3.eval != s1.eval {
+		t.Fatal("online evaluator should advance in place with its clone")
+	}
+	if s3.version != n.g.Version() {
+		t.Fatalf("advanced snapshot at version %d, master at %d", s3.version, n.g.Version())
+	}
+	// The advanced clone must actually contain the new relationship.
+	if d, err := n.CanAccess("r", ids[2]); err != nil || d.Effect != Allow {
+		t.Fatalf("friend-of-friend via advanced clone = (%v, %v)", d.Effect, err)
+	}
+	// And the ping-pong continues: the next mutation steals s2's clone.
+	if err := n.Unrelate(ids[1], ids[2], "friend"); err != nil {
+		t.Fatal(err)
+	}
+	s4 := publish(t, n)
+	if s4.g != s2.g {
+		t.Fatal("fourth publication should recycle the second clone")
+	}
+	if d, err := n.CanAccess("r", ids[2]); err != nil || d.Effect != Deny {
+		t.Fatalf("removed relationship still grants = (%v, %v)", d.Effect, err)
+	}
+}
+
+// TestPolicyOnlyPublicationShares pins that a policy-only change keeps
+// sharing the clone and evaluator, and that the shared clone is never
+// offered for stealing.
+func TestPolicyOnlyPublicationShares(t *testing.T) {
+	n := New()
+	a := n.MustAddUser("a")
+	b := n.MustAddUser("b")
+	if err := n.Relate(a, b, "friend"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Share("r", a, "friend+[1]"); err != nil {
+		t.Fatal(err)
+	}
+	s1 := publish(t, n)
+	if _, err := n.Share("r", a, "friend+[1,2]"); err != nil {
+		t.Fatal(err)
+	}
+	s2 := publish(t, n)
+	if s2 == s1 || s2.g != s1.g || s2.eval != s1.eval {
+		t.Fatal("policy-only change must share clone and evaluator")
+	}
+	if n.spare == s1 {
+		t.Fatal("a snapshot sharing the published clone must not become the spare")
+	}
+}
+
+// TestDeltaWindowOverflowFallsBack pins the bounded-log fallback: when more
+// mutations land than the window retains, publication falls back to a full
+// clone and decisions stay exact.
+func TestDeltaWindowOverflowFallsBack(t *testing.T) {
+	n := New()
+	ids := make([]UserID, 4)
+	for i := range ids {
+		ids[i] = n.MustAddUser(fmt.Sprintf("u%d", i))
+	}
+	n.Graph().SetDeltaLogLimit(4)
+	if _, err := n.Share("r", ids[0], "friend+[1]"); err != nil {
+		t.Fatal(err)
+	}
+	s1 := publish(t, n)
+	_ = s1
+	if err := n.Relate(ids[0], ids[1], "friend"); err != nil {
+		t.Fatal(err)
+	}
+	publish(t, n)
+	// Blow past the window (limit 4, trims at 8): 20 node additions.
+	for i := 0; i < 20; i++ {
+		n.MustAddUser(fmt.Sprintf("extra%02d", i))
+	}
+	s3 := publish(t, n)
+	if s3.g == s1.g {
+		t.Fatal("overflowed window must not delta-advance the old clone")
+	}
+	if d, err := n.CanAccess("r", ids[1]); err != nil || d.Effect != Allow {
+		t.Fatalf("decision after overflow fallback = (%v, %v)", d.Effect, err)
+	}
+}
+
+// TestPublishCompactsTombstones pins the full-rebuild compaction: enough
+// Unrelate churn leaves the master with zero tombstones after the next
+// publication.
+func TestPublishCompactsTombstones(t *testing.T) {
+	n := New()
+	const members = 90
+	ids := make([]UserID, members)
+	for i := range ids {
+		ids[i] = n.MustAddUser(fmt.Sprintf("u%02d", i))
+	}
+	n.Graph().SetDeltaLogLimit(-1) // force the full-rebuild path
+	for i := 0; i < members-1; i++ {
+		if err := n.Relate(ids[i], ids[i+1], "friend"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := n.Share("r", ids[0], "friend+[1]"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < members-1; i++ {
+		if err := n.Unrelate(ids[i], ids[i+1], "friend"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n.Graph().NumTombstones() != members-1 {
+		t.Fatalf("tombstones = %d, want %d", n.Graph().NumTombstones(), members-1)
+	}
+	publish(t, n)
+	if got := n.Graph().NumTombstones(); got != 0 {
+		t.Fatalf("publication left %d tombstones", got)
+	}
+	if d, err := n.CanAccess("r", ids[1]); err != nil || d.Effect != Deny {
+		t.Fatalf("decision after compaction = (%v, %v)", d.Effect, err)
+	}
+}
+
+// TestRelateMutualRollback pins the half-application fix: when the second
+// direction fails, the first is rolled back.
+func TestRelateMutualRollback(t *testing.T) {
+	n := New()
+	a := n.MustAddUser("a")
+	b := n.MustAddUser("b")
+	if err := n.Relate(b, a, "friend"); err != nil {
+		t.Fatal(err)
+	}
+	err := n.RelateMutual(a, b, "friend")
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("RelateMutual over an existing reverse edge: %v", err)
+	}
+	if n.Graph().HasEdge(a, b, "friend") {
+		t.Fatal("first direction not rolled back")
+	}
+	if !n.Graph().HasEdge(b, a, "friend") {
+		t.Fatal("pre-existing edge must survive the rollback")
+	}
+	// And the success path still works.
+	c := n.MustAddUser("c")
+	if err := n.RelateMutual(a, c, "friend"); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Graph().HasEdge(a, c, "friend") || !n.Graph().HasEdge(c, a, "friend") {
+		t.Fatal("mutual relationship incomplete")
+	}
+}
