@@ -5,28 +5,40 @@ import (
 
 	"reachac/internal/core"
 	"reachac/internal/graph"
+	"reachac/internal/wal"
 )
 
 // Tx batches mutations under a single lock hold so that interleaved readers
 // trigger at most one snapshot republication for the whole batch, and the
-// delta window is consumed in one O(Δ) advance instead of one per call. A
-// Tx is only valid inside the Batch callback that created it and must not
-// be used concurrently or retained.
+// delta window is consumed in one O(Δ) advance instead of one per call. On a
+// durable network the batch additionally commits as ONE atomic write-ahead
+// log record group: either every operation of the batch is durable or none
+// is, and recovery never observes a half-applied batch. A Tx is only valid
+// inside the Batch callback that created it and must not be used
+// concurrently or retained.
 type Tx struct {
 	n *Network
 	// undo holds the inverse of each applied mutation, pushed in order and
-	// run in reverse when the callback fails.
+	// run in reverse when the callback (or the WAL commit) fails.
 	undo []func()
+	// ops accumulates the write-ahead log record of each applied mutation,
+	// in order; Batch appends them as one atomic record group at commit.
+	ops []wal.Op
 }
 
 // Batch runs fn with a transaction handle, applying all its mutations under
-// one lock acquisition. If fn returns an error, the invertible mutations
-// already applied (Relate, Unrelate, Share, Revoke) are rolled back in
-// reverse order and the error is returned. AddUser is not invertible (the
-// graph never removes nodes); users created by a failed batch remain as
-// isolated members, which no path expression can ever match. Resource
-// registration performed by Share likewise persists, though the rule itself
-// is rolled back.
+// one lock acquisition and — on a durable network — committing them as one
+// atomic WAL record group, fsynced before Batch returns (per the sync
+// policy). If fn returns an error, or the WAL append fails, the invertible
+// mutations already applied (Relate, Unrelate, Share, Revoke) are rolled
+// back in reverse order and the error is returned. AddUser is not
+// invertible (the graph never removes nodes); users created by a failed
+// batch remain as isolated members, which no path expression can ever
+// match — on a durable network those residual additions are still logged,
+// keeping node-ID allocation identical under replay. Because a failed WAL
+// append can leave in-memory state the log missed, it poisons a durable
+// network read-only — acknowledging later mutations could diverge from
+// what recovery rebuilds.
 //
 // Reads against the currently published snapshot proceed untouched, but
 // once the batch's first mutation lands, a reader that needs a fresh
@@ -35,19 +47,66 @@ type Tx struct {
 func (n *Network) Batch(fn func(*Tx) error) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if err := n.writeGuardLocked(); err != nil {
+		return err
+	}
 	tx := &Tx{n: n}
 	if err := fn(tx); err != nil {
-		for i := len(tx.undo) - 1; i >= 0; i-- {
-			tx.undo[i]()
+		tx.rollback()
+		// The non-invertible node additions survive the rollback in memory,
+		// so they must survive in the log too: if they were dropped, the
+		// next node would take ID N live but N-k on replay, and every later
+		// acknowledged record referencing it would recover against the
+		// wrong user. Commit them (alone) as their own group.
+		if ghosts := tx.ghostOps(); len(ghosts) > 0 {
+			if cerr := n.commitLocked(ghosts); cerr != nil {
+				return fmt.Errorf("%w (and logging the batch's residual node additions failed: %v)", err, cerr)
+			}
 		}
+		return err
+	}
+	if err := n.commitLocked(tx.ops); err != nil {
+		// The append failed and poisoned the network read-only; rollback
+		// restores what it can (any residual node additions are confined to
+		// the now-unacknowledgeable in-memory state).
+		tx.rollback()
 		return err
 	}
 	return nil
 }
 
+// ghostOps returns the batch's non-invertible operations — the node
+// additions that rollback cannot remove and that therefore must still be
+// logged when the batch fails.
+func (tx *Tx) ghostOps() []wal.Op {
+	var out []wal.Op
+	for _, op := range tx.ops {
+		if op.Kind == wal.OpGraph && op.Delta != nil && op.Delta.Op == graph.OpAddNode {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// rollback runs the recorded undos in reverse order.
+func (tx *Tx) rollback() {
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		tx.undo[i]()
+	}
+}
+
 // AddUser is Network.AddUser within the batch.
 func (tx *Tx) AddUser(name string, attrs ...Attr) (UserID, error) {
-	return tx.n.addUserLocked(name, attrs)
+	id, err := tx.n.addUserLocked(name, attrs)
+	if err != nil {
+		return id, err
+	}
+	tx.ops = append(tx.ops, wal.GraphOp(graph.Delta{
+		Op:    graph.OpAddNode,
+		Name:  name,
+		Attrs: tx.n.g.Node(id).Attrs,
+	}))
+	return id, nil
 }
 
 // Relate is Network.Relate within the batch; rolled back on batch failure.
@@ -65,6 +124,9 @@ func (tx *Tx) Relate(from, to UserID, relType string) error {
 			}
 		}
 	})
+	tx.ops = append(tx.ops, wal.GraphOp(graph.Delta{
+		Op: graph.OpAddEdge, From: from, To: to, Label: relType,
+	}))
 	return nil
 }
 
@@ -86,17 +148,29 @@ func (tx *Tx) Unrelate(from, to UserID, relType string) error {
 	tx.undo = append(tx.undo, func() {
 		_, _ = tx.n.g.AddWeightedEdge(rec.From, rec.To, relType, rec.Weight)
 	})
+	tx.ops = append(tx.ops, wal.GraphOp(graph.Delta{
+		Op: graph.OpRemoveEdge, From: from, To: to, Label: relType,
+	}))
 	return nil
 }
 
-// Share is Network.Share within the batch; the added rule is revoked on
-// batch failure (the resource registration persists).
+// Share is Network.Share within the batch; on batch failure the added rule
+// is revoked and, if this Share registered the resource, the registration
+// is removed again too.
 func (tx *Tx) Share(resource string, owner UserID, paths ...string) (string, error) {
-	id, err := tx.n.Share(resource, owner, paths...)
+	_, existed := tx.n.store.Load().Owner(core.ResourceID(resource))
+	id, conds, err := tx.n.shareLocked(resource, owner, paths)
 	if err != nil {
 		return "", err
 	}
-	tx.undo = append(tx.undo, func() { tx.n.store.Load().RemoveRule(core.ResourceID(resource), id) })
+	tx.undo = append(tx.undo, func() {
+		s := tx.n.store.Load()
+		s.RemoveRule(core.ResourceID(resource), id)
+		if !existed {
+			s.Unregister(core.ResourceID(resource))
+		}
+	})
+	tx.ops = append(tx.ops, wal.ShareOp(resource, owner, id, conds))
 	return id, nil
 }
 
@@ -117,5 +191,6 @@ func (tx *Tx) Revoke(resource, ruleID string) bool {
 	if removed != nil {
 		tx.undo = append(tx.undo, func() { _ = store.AddRule(removed) })
 	}
+	tx.ops = append(tx.ops, wal.RevokeOp(resource, ruleID))
 	return true
 }

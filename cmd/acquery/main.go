@@ -12,6 +12,10 @@
 //
 // -audience enumerates every member the path grants access to (the
 // resource's effective audience).
+//
+// Instead of -graph, -dir opens a durable network directory (as written by
+// reachac.Open): the graph is recovered from the latest checkpoint plus the
+// write-ahead log tail before the query runs.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"os"
 	"time"
 
+	"reachac"
 	"reachac/internal/core"
 	"reachac/internal/graph"
 	"reachac/internal/joinindex"
@@ -34,6 +39,7 @@ func main() {
 	log.SetPrefix("acquery: ")
 	var (
 		graphPath = flag.String("graph", "", "graph file (from gengraph or Network.Save)")
+		dirPath   = flag.String("dir", "", "durable network directory (from reachac.Open); alternative to -graph")
 		owner     = flag.String("owner", "", "resource owner (member name)")
 		requester = flag.String("requester", "", "access requester (member name)")
 		pathStr   = flag.String("path", "", "path expression, e.g. 'friend+[1,2]/colleague+[1]'")
@@ -42,19 +48,33 @@ func main() {
 		explain   = flag.Bool("explain", false, "print a witness path on grant (online engine)")
 	)
 	flag.Parse()
-	if *graphPath == "" || *owner == "" || *pathStr == "" {
+	if (*graphPath == "") == (*dirPath == "") || *owner == "" || *pathStr == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	f, err := os.Open(*graphPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	g, err := graph.Read(f)
-	f.Close()
-	if err != nil {
-		log.Fatal(err)
+	var g *graph.Graph
+	if *dirPath != "" {
+		n, err := reachac.Open(*dirPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer n.Close()
+		rec := n.Recovery()
+		log.Printf("recovered %d users, %d relationships (%d WAL groups past checkpoint %d, torn tail: %v)",
+			n.NumUsers(), n.NumRelationships(), rec.Groups, rec.CheckpointSeq, rec.TornTail)
+		g = n.Graph()
+	} else {
+		f, err := os.Open(*graphPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var rerr error
+		g, rerr = graph.Read(f)
+		f.Close()
+		if rerr != nil {
+			log.Fatal(rerr)
+		}
 	}
 	p, err := pathexpr.Parse(*pathStr)
 	if err != nil {

@@ -30,5 +30,13 @@
 // many mutations into one republication. See ARCHITECTURE.md for the
 // publication protocol.
 //
+// Networks created with Open(dir) are durable: every acknowledged mutation
+// batch is appended to a write-ahead log as one atomic, CRC-framed record
+// group (fsynced per the configured sync policy) before the mutator
+// returns, a size-triggered background checkpoint compacts the log, and
+// Open recovers exactly the acknowledged prefix after a crash — a torn
+// final record is dropped, not fatal. See the "Durability and recovery"
+// section of ARCHITECTURE.md.
+//
 // See the examples/ directory for complete programs.
 package reachac

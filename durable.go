@@ -1,0 +1,227 @@
+package reachac
+
+import (
+	"fmt"
+	"time"
+
+	"reachac/internal/wal"
+)
+
+// SyncPolicy selects when the write-ahead log fsyncs appended records; see
+// the wal package for the exact guarantees of each policy.
+type SyncPolicy = wal.SyncPolicy
+
+// Sync policies, re-exported for Open options.
+const (
+	// SyncAlways (the default) fsyncs before a mutation is acknowledged;
+	// concurrent commits share fsyncs (group commit).
+	SyncAlways = wal.SyncAlways
+	// SyncInterval fsyncs on a background cadence; a crash may lose up to
+	// one interval of acknowledged mutations.
+	SyncInterval = wal.SyncInterval
+	// SyncNever leaves fsync to the OS (and to checkpoint/Close).
+	SyncNever = wal.SyncNever
+)
+
+// DefaultCheckpointEvery is the WAL segment size that triggers a background
+// checkpoint and log rotation.
+const DefaultCheckpointEvery int64 = 4 << 20
+
+// openConfig collects Open's options.
+type openConfig struct {
+	kind         EngineKind
+	sync         SyncPolicy
+	syncInterval time.Duration
+	ckptEvery    int64
+}
+
+// Option configures Open.
+type Option func(*openConfig)
+
+// WithEngine selects the evaluator kind the recovered network publishes.
+func WithEngine(kind EngineKind) Option {
+	return func(c *openConfig) { c.kind = kind }
+}
+
+// WithSync selects the WAL fsync policy (default SyncAlways).
+func WithSync(p SyncPolicy) Option {
+	return func(c *openConfig) { c.sync = p }
+}
+
+// WithSyncInterval selects SyncInterval with the given cadence.
+func WithSyncInterval(d time.Duration) Option {
+	return func(c *openConfig) { c.sync = SyncInterval; c.syncInterval = d }
+}
+
+// WithCheckpointEvery sets the WAL segment size that triggers a background
+// checkpoint (default DefaultCheckpointEvery); zero or negative disables
+// automatic checkpoints, leaving compaction to explicit Checkpoint calls.
+func WithCheckpointEvery(bytes int64) Option {
+	return func(c *openConfig) { c.ckptEvery = bytes }
+}
+
+// RecoveryInfo reports what Open reconstructed from the log directory.
+type RecoveryInfo struct {
+	// Groups counts the replayed WAL record groups — the acknowledged
+	// mutation batches since the loaded checkpoint.
+	Groups int
+	// TornTail reports that the newest segment ended mid-record (a crash
+	// during an append); the torn suffix was dropped and truncated away.
+	TornTail bool
+	// CheckpointSeq is the segment sequence the loaded checkpoint covered
+	// (0 when recovery started from an empty state).
+	CheckpointSeq uint64
+}
+
+// Open opens (creating if absent) a durable network rooted at dir. State is
+// recovered as the latest durable checkpoint advanced by a replay of the
+// write-ahead log tail — exactly the acknowledged mutation prefix; a torn
+// final record (a crash mid-append) is dropped, not fatal — and the engine
+// snapshot is built and published before Open returns. Every subsequent
+// mutation is appended to the log as one atomic record group before it is
+// acknowledged, and a size-triggered background checkpoint compacts and
+// rotates the log. Call Close to flush and release the log.
+func Open(dir string, opts ...Option) (*Network, error) {
+	cfg := openConfig{kind: Online, sync: SyncAlways, ckptEvery: DefaultCheckpointEvery}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	l, rec, err := wal.Open(dir, wal.Options{Sync: cfg.sync, Interval: cfg.syncInterval})
+	if err != nil {
+		return nil, err
+	}
+	n := newNetwork(rec.Graph, rec.Store)
+	n.wal = l
+	n.ckptEvery = cfg.ckptEvery
+	n.recovery = RecoveryInfo{Groups: rec.Groups, TornTail: rec.TornTail, CheckpointSeq: rec.CheckpointSeq}
+	// Republish the snapshot now, so the first read after recovery doesn't
+	// pay for the engine build.
+	if err := n.UseEngine(cfg.kind); err != nil {
+		l.Close()
+		return nil, err
+	}
+	return n, nil
+}
+
+// Recovery reports what Open reconstructed; it is the zero value on networks
+// not created by Open.
+func (n *Network) Recovery() RecoveryInfo { return n.recovery }
+
+// Durable reports whether the network persists mutations to a write-ahead
+// log (i.e. was created by Open).
+func (n *Network) Durable() bool { return n.wal != nil }
+
+// Close waits for any in-flight checkpoint, flushes and closes the
+// write-ahead log. Mutations after Close fail; reads keep serving the
+// in-memory state. Close is a no-op on non-durable networks and idempotent.
+func (n *Network) Close() error {
+	n.mu.Lock()
+	if n.wal == nil || n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+	n.ckptWG.Wait()
+	err := n.wal.Close()
+	n.ckptMu.Lock()
+	if err == nil {
+		err = n.ckptErr
+	}
+	n.ckptMu.Unlock()
+	return err
+}
+
+// Checkpoint synchronously compacts the log: it waits for any background
+// checkpoint, rotates the WAL and writes a durable checkpoint of the current
+// state, after which the superseded segments are deleted. It is an error on
+// non-durable or closed networks.
+func (n *Network) Checkpoint() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.wal == nil {
+		return fmt.Errorf("reachac: Checkpoint on a non-durable network")
+	}
+	if err := n.writeGuardLocked(); err != nil {
+		return err
+	}
+	// Safe to wait under mu: the background checkpointer never takes it.
+	n.ckptWG.Wait()
+	covered, err := n.wal.Rotate()
+	if err != nil {
+		return err
+	}
+	// No clones needed: mu blocks every mutator for the whole (synchronous)
+	// write, and the checkpoint writers only read.
+	return n.wal.WriteCheckpoint(covered, n.g, n.store.Load())
+}
+
+// writeGuardLocked rejects mutations on closed or WAL-poisoned networks.
+// Callers hold n.mu.
+func (n *Network) writeGuardLocked() error {
+	if n.closed {
+		return fmt.Errorf("reachac: network is closed")
+	}
+	if n.walErr != nil {
+		return fmt.Errorf("reachac: network is read-only after WAL failure: %w", n.walErr)
+	}
+	return nil
+}
+
+// commitLocked durably appends one committed batch's operations as a single
+// atomic record group, then triggers a background checkpoint if the segment
+// crossed the size threshold. An append failure poisons the network
+// (read-only from then on): the in-memory state may contain non-invertible
+// mutations the log missed, so acknowledging anything further could diverge
+// from what recovery will rebuild. Callers hold n.mu.
+func (n *Network) commitLocked(ops []wal.Op) error {
+	if n.wal == nil || len(ops) == 0 {
+		return nil
+	}
+	if err := n.wal.Append(ops); err != nil {
+		n.walErr = err
+		return fmt.Errorf("reachac: WAL append failed (network is now read-only): %w", err)
+	}
+	n.maybeCheckpointLocked()
+	return nil
+}
+
+// maybeCheckpointLocked starts at most one background checkpoint once the
+// current WAL segment exceeds the configured threshold. The rotation and the
+// state clone happen under n.mu — so the checkpoint covers exactly the
+// rotated segments — while the expensive serialization and fsyncs run in a
+// goroutine off the mutation path. Callers hold n.mu.
+func (n *Network) maybeCheckpointLocked() {
+	if n.ckptEvery <= 0 || n.wal.Size() < n.ckptEvery {
+		return
+	}
+	if !n.ckptActive.CompareAndSwap(false, true) {
+		return
+	}
+	covered, err := n.wal.Rotate()
+	if err != nil {
+		n.recordCkptErr(err)
+		n.ckptActive.Store(false)
+		return
+	}
+	gc, sc := n.g.Clone(), n.store.Load().Clone()
+	n.ckptWG.Add(1)
+	go func() {
+		defer n.ckptWG.Done()
+		defer n.ckptActive.Store(false)
+		if err := n.wal.WriteCheckpoint(covered, gc, sc); err != nil {
+			n.recordCkptErr(err)
+		}
+	}()
+}
+
+// recordCkptErr retains the first background checkpoint failure for Close to
+// surface. It takes only ckptMu, so the background checkpointer can report
+// while a caller holds n.mu (e.g. Checkpoint waiting on ckptWG).
+func (n *Network) recordCkptErr(err error) {
+	n.ckptMu.Lock()
+	if n.ckptErr == nil {
+		n.ckptErr = err
+	}
+	n.ckptMu.Unlock()
+}

@@ -160,6 +160,22 @@ func (s *Store) Register(res ResourceID, owner graph.NodeID) error {
 	return nil
 }
 
+// Unregister removes a resource registration, provided no rules are
+// attached, and reports whether it did. It exists so a rolled-back batch
+// can undo the registration its Share created (the rule itself having been
+// removed first).
+func (s *Store) Unregister(res ResourceID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.owners[res]; !ok || len(s.rules[res]) > 0 {
+		return false
+	}
+	delete(s.owners, res)
+	delete(s.rules, res)
+	s.gen.Add(1)
+	return true
+}
+
 // Owner returns the owner of a registered resource.
 func (s *Store) Owner(res ResourceID) (graph.NodeID, bool) {
 	s.mu.RLock()
@@ -186,6 +202,11 @@ func (s *Store) AddRule(r *Rule) error {
 	if r.ID == "" {
 		s.nextID++
 		r.ID = fmt.Sprintf("rule-%d", s.nextID)
+	} else if n, ok := ruleSeq(r.ID); ok && n > s.nextID {
+		// An explicit auto-style ID (rule-N) — as restored by ReadStore or
+		// WAL replay — must advance the counter, or the next auto-assigned
+		// ID would collide with it.
+		s.nextID = n
 	}
 	for _, existing := range s.rules[r.Resource] {
 		if existing.ID == r.ID {
@@ -195,6 +216,26 @@ func (s *Store) AddRule(r *Rule) error {
 	s.rules[r.Resource] = append(s.rules[r.Resource], r)
 	s.gen.Add(1)
 	return nil
+}
+
+// ruleSeq parses an auto-assigned rule ID of the form "rule-N".
+func ruleSeq(id string) (int, bool) {
+	const prefix = "rule-"
+	if len(id) <= len(prefix) || id[:len(prefix)] != prefix {
+		return 0, false
+	}
+	n := 0
+	for _, c := range id[len(prefix):] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := int(c - '0')
+		if n > (1<<31-1-d)/10 {
+			return 0, false
+		}
+		n = n*10 + d
+	}
+	return n, true
 }
 
 // RemoveRule detaches a rule by id; it reports whether the rule existed.

@@ -38,18 +38,21 @@ func (op DeltaOp) String() string {
 
 // Delta is one recorded structural mutation. Deltas are expressed in terms
 // stable across clones: node IDs (never reused), label names and endpoint
-// pairs — never EdgeIDs, which clones renumber.
+// pairs — never EdgeIDs, which clones renumber. The JSON tags define the
+// WAL's structural record payload; every field's zero value round-trips, so
+// omitempty is lossless.
 type Delta struct {
-	Op DeltaOp
+	Op DeltaOp `json:"op"`
 	// Name and Attrs describe an OpAddNode. Attrs is shared with the live
 	// node; Apply clones it, mirroring Graph.Clone.
-	Name  string
-	Attrs Attrs
+	Name  string `json:"name,omitempty"`
+	Attrs Attrs  `json:"attrs,omitempty"`
 	// From, To, Label and Weight describe an edge for OpAddEdge and
 	// OpRemoveEdge (Weight is OpAddEdge-only).
-	From, To NodeID
-	Label    string
-	Weight   float64
+	From   NodeID  `json:"from,omitempty"`
+	To     NodeID  `json:"to,omitempty"`
+	Label  string  `json:"label,omitempty"`
+	Weight float64 `json:"weight,omitempty"`
 }
 
 // DefaultDeltaLogLimit is the default bound on the retained delta window.

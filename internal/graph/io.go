@@ -62,6 +62,27 @@ func decodeValue(v ioValue) (Value, error) {
 	}
 }
 
+// MarshalJSON encodes the value in the same tagged form the graph file
+// format uses, so types like Delta (whose Attrs carry Values) can be
+// serialized with encoding/json — the WAL's record payloads rely on this.
+func (v Value) MarshalJSON() ([]byte, error) {
+	return json.Marshal(encodeValue(v))
+}
+
+// UnmarshalJSON decodes a value written by MarshalJSON.
+func (v *Value) UnmarshalJSON(b []byte) error {
+	var iv ioValue
+	if err := json.Unmarshal(b, &iv); err != nil {
+		return err
+	}
+	dv, err := decodeValue(iv)
+	if err != nil {
+		return err
+	}
+	*v = dv
+	return nil
+}
+
 // Write serializes g to w. Tombstoned edges are dropped.
 func (g *Graph) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)

@@ -1,0 +1,128 @@
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"reachac/internal/core"
+	"reachac/internal/graph"
+)
+
+// A checkpoint is one header line followed by the two section payloads:
+//
+//	{"magic":"reachac-checkpoint-v1","graph":G,"policy":P,"crc":C}\n
+//	<G bytes of graph.Graph.Write output><P bytes of core.Store.Write output>
+//
+// The section lengths make the stream self-delimiting (both sections are
+// themselves line-delimited JSON, so they could not otherwise be split
+// apart safely), and the CRC over both sections rejects a checkpoint that
+// was corrupted after the fact — recovery then falls back to the previous
+// checkpoint plus the still-present log segments.
+
+const checkpointMagic = "reachac-checkpoint-v1"
+
+type checkpointHeader struct {
+	Magic    string `json:"magic"`
+	GraphLen int64  `json:"graph"`
+	StoreLen int64  `json:"policy"`
+	CRC      uint32 `json:"crc"`
+}
+
+// writeCheckpoint serializes a consistent (graph, store) pair to w.
+func writeCheckpoint(w io.Writer, g *graph.Graph, s *core.Store) error {
+	var gb, sb bytes.Buffer
+	if err := g.Write(&gb); err != nil {
+		return err
+	}
+	if err := s.Write(&sb); err != nil {
+		return err
+	}
+	crc := crc32.Checksum(gb.Bytes(), crcTable)
+	crc = crc32.Update(crc, crcTable, sb.Bytes())
+	hdr, err := json.Marshal(checkpointHeader{
+		Magic:    checkpointMagic,
+		GraphLen: int64(gb.Len()),
+		StoreLen: int64(sb.Len()),
+		CRC:      crc,
+	})
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	bw.Write(hdr)
+	bw.WriteByte('\n')
+	bw.Write(gb.Bytes())
+	bw.Write(sb.Bytes())
+	return bw.Flush()
+}
+
+// maxCheckpointSection bounds one checkpoint section, so a corrupt header
+// cannot drive a giant allocation.
+const maxCheckpointSection = 1 << 31
+
+// readCheckpoint deserializes a checkpoint written by writeCheckpoint.
+func readCheckpoint(r io.Reader) (*graph.Graph, *core.Store, error) {
+	br := bufio.NewReader(r)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: reading checkpoint header: %w", err)
+	}
+	var hdr checkpointHeader
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		return nil, nil, fmt.Errorf("wal: decoding checkpoint header: %w", err)
+	}
+	if hdr.Magic != checkpointMagic {
+		return nil, nil, fmt.Errorf("wal: bad checkpoint magic %q", hdr.Magic)
+	}
+	if hdr.GraphLen < 0 || hdr.StoreLen < 0 || hdr.GraphLen > maxCheckpointSection || hdr.StoreLen > maxCheckpointSection {
+		return nil, nil, fmt.Errorf("wal: absurd checkpoint section lengths (%d, %d)", hdr.GraphLen, hdr.StoreLen)
+	}
+	gb := make([]byte, hdr.GraphLen)
+	if _, err := io.ReadFull(br, gb); err != nil {
+		return nil, nil, fmt.Errorf("wal: reading checkpoint graph section: %w", err)
+	}
+	sb := make([]byte, hdr.StoreLen)
+	if _, err := io.ReadFull(br, sb); err != nil {
+		return nil, nil, fmt.Errorf("wal: reading checkpoint policy section: %w", err)
+	}
+	crc := crc32.Checksum(gb, crcTable)
+	crc = crc32.Update(crc, crcTable, sb)
+	if crc != hdr.CRC {
+		return nil, nil, fmt.Errorf("wal: checkpoint checksum mismatch")
+	}
+	g, err := graph.Read(bytes.NewReader(gb))
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := core.ReadStore(bytes.NewReader(sb), g)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, s, nil
+}
+
+func readCheckpointFile(path string) (*graph.Graph, *core.Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return readCheckpoint(f)
+}
+
+// WriteState serializes a consistent (graph, store) pair in checkpoint
+// format; the facade's Network.SaveState exposes it as the one-stream
+// whole-network persistence format.
+func WriteState(w io.Writer, g *graph.Graph, s *core.Store) error {
+	return writeCheckpoint(w, g, s)
+}
+
+// ReadState deserializes a stream written by WriteState.
+func ReadState(r io.Reader) (*graph.Graph, *core.Store, error) {
+	return readCheckpoint(r)
+}

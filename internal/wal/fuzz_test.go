@@ -1,0 +1,151 @@
+package wal
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"reachac/internal/core"
+	"reachac/internal/graph"
+)
+
+// FuzzWALReplay feeds arbitrary bytes to the WAL decoder as a segment file.
+// Whatever the input: the frame scanner and full recovery must never panic,
+// the scanner must never yield a payload whose stored CRC does not match its
+// contents, and the valid prefix it reports must be a byte length the data
+// actually contains.
+func FuzzWALReplay(f *testing.F) {
+	// Seed with a well-formed log, truncations of it, bit flips, and framing
+	// edge cases.
+	var valid []byte
+	groups := [][]Op{
+		{GraphOp(graph.Delta{Op: graph.OpAddNode, Name: "alice", Attrs: graph.Attrs{"age": graph.Int(30)}})},
+		{GraphOp(graph.Delta{Op: graph.OpAddNode, Name: "bob"}),
+			GraphOp(graph.Delta{Op: graph.OpAddEdge, From: 0, To: 1, Label: "friend"})},
+		{ShareOp("photo", 0, "rule-1", []string{"friend+[1,2]"})},
+		{RevokeOp("photo", "rule-1")},
+	}
+	for _, g := range groups {
+		var err error
+		valid, err = encodeFrame(valid, g)
+		if err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add(valid[:frameHeaderSize-2])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+	// A frame claiming a giant length.
+	huge := make([]byte, frameHeaderSize)
+	binary.LittleEndian.PutUint32(huge, uint32(MaxRecordSize+1))
+	f.Add(huge)
+	// A CRC-valid frame holding non-JSON payload.
+	junk := []byte("definitely not json")
+	hdr := make([]byte, frameHeaderSize)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(junk)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(junk, crcTable))
+	f.Add(append(hdr, junk...))
+	// A CRC-valid frame holding a decodable op that must fail application.
+	var dangling []byte
+	dangling, err := encodeFrame(nil, []Op{GraphOp(graph.Delta{Op: graph.OpAddEdge, From: 9, To: 10, Label: "x"})})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(dangling)
+	f.Add([]byte{})
+
+	// The file-level recovery path (Open over a segment holding these same
+	// adversarial inputs) is exercised once per seed by
+	// TestRecoverySurvivesFuzzSeeds below; the fuzz body itself stays
+	// in-memory so the fuzzer is not throttled by per-exec fsyncs.
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Frame-level invariants.
+		total := 0
+		valid := scanFrames(data, func(payload []byte) bool {
+			// scanFrames only hands out CRC-verified payloads; recompute
+			// against the stored header to prove it.
+			hdrOff := total
+			stored := binary.LittleEndian.Uint32(data[hdrOff+4 : hdrOff+8])
+			if crc32.Checksum(payload, crcTable) != stored {
+				t.Fatalf("scanner yielded payload failing its CRC at offset %d", hdrOff)
+			}
+			total += frameHeaderSize + len(payload)
+			return true
+		})
+		if valid != int64(total) {
+			t.Fatalf("valid prefix %d does not match delivered frames (%d bytes)", valid, total)
+		}
+		if valid > int64(len(data)) {
+			t.Fatalf("valid prefix %d beyond input length %d", valid, len(data))
+		}
+
+		// Group decode + application must never panic, whatever the bytes.
+		g, s := graph.New(), core.NewStore()
+		scanFrames(data, func(payload []byte) bool {
+			ops, err := decodeGroup(payload)
+			if err != nil {
+				return false
+			}
+			for _, op := range ops {
+				if s, err = op.Apply(g, s); err != nil {
+					return false
+				}
+			}
+			return true
+		})
+	})
+}
+
+// TestRecoverySurvivesFuzzSeeds runs full file-level recovery over the same
+// adversarial byte strings FuzzWALReplay seeds with: errors are acceptable
+// (a decodable-but-inapplicable group IS corruption), panics are not, and a
+// successful open must leave an appendable log.
+func TestRecoverySurvivesFuzzSeeds(t *testing.T) {
+	var valid []byte
+	var err error
+	for _, g := range [][]Op{
+		{GraphOp(graph.Delta{Op: graph.OpAddNode, Name: "alice"})},
+		{ShareOp("photo", 0, "rule-1", []string{"friend+[1,2]"})},
+	} {
+		if valid, err = encodeFrame(valid, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	junk := []byte("definitely not json")
+	hdr := make([]byte, frameHeaderSize)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(junk)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(junk, crcTable))
+	crcValidJunk := append(hdr, junk...)
+	dangling, err := encodeFrame(nil, []Op{GraphOp(graph.Delta{Op: graph.OpAddEdge, From: 9, To: 10, Label: "x"})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := [][]byte{
+		valid,
+		valid[:len(valid)-3],
+		valid[:frameHeaderSize-2],
+		crcValidJunk,
+		dangling,
+		{},
+		{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0},
+	}
+	for i, data := range inputs {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "wal-00000001.log"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, _, err := Open(dir, Options{Sync: SyncNever})
+		if err != nil {
+			continue
+		}
+		if aerr := l.Append([]Op{GraphOp(graph.Delta{Op: graph.OpAddNode, Name: "post"})}); aerr != nil {
+			t.Errorf("input %d: append after recovery: %v", i, aerr)
+		}
+		l.Close()
+	}
+}

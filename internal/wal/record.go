@@ -1,0 +1,202 @@
+// Package wal implements the durability subsystem: a write-ahead log of
+// framed, CRC-protected record groups plus periodic checkpoints, together
+// supporting crash recovery with torn-tail tolerance.
+//
+// One record group is the unit of atomicity: it holds the ordered operations
+// of one committed mutation batch (structural graph deltas and policy
+// operations), serialized as a JSON array and framed as
+//
+//	[length uint32 LE][crc32c(payload) uint32 LE][payload]
+//
+// A group either replays in full or — when the tail of the newest segment is
+// torn by a crash mid-write — is dropped in full, so recovery always lands
+// on a batch boundary. Checkpoints reuse the graph and policy-store JSON
+// writers verbatim, so the compact state format stays diffable and
+// independently readable.
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+
+	"reachac/internal/core"
+	"reachac/internal/graph"
+	"reachac/internal/pathexpr"
+)
+
+// OpKind tags one logged operation.
+type OpKind uint8
+
+// Logged operation kinds.
+const (
+	// OpGraph is a structural mutation, carried as a graph.Delta.
+	OpGraph OpKind = iota + 1
+	// OpShare registers a resource (idempotently) and attaches one access
+	// rule with an explicit rule ID, mirroring Network.Share.
+	OpShare
+	// OpRevoke detaches one access rule, mirroring Network.Revoke.
+	OpRevoke
+	// OpPolicyReset replaces the whole policy store with one serialized by
+	// core.Store.Write, mirroring Network.LoadPolicies.
+	OpPolicyReset
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpGraph:
+		return "graph"
+	case OpShare:
+		return "share"
+	case OpRevoke:
+		return "revoke"
+	case OpPolicyReset:
+		return "policy-reset"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op is one logged operation. Exactly the fields implied by Kind are set;
+// zero values of the unused fields round-trip losslessly through omitempty.
+type Op struct {
+	Kind OpKind `json:"kind"`
+	// Delta carries an OpGraph structural mutation.
+	Delta *graph.Delta `json:"delta,omitempty"`
+	// Resource, Owner, RuleID and Conditions describe OpShare (all four) and
+	// OpRevoke (Resource and RuleID). Conditions are canonical path strings.
+	Resource   string       `json:"resource,omitempty"`
+	Owner      graph.NodeID `json:"owner,omitempty"`
+	RuleID     string       `json:"rule,omitempty"`
+	Conditions []string     `json:"conds,omitempty"`
+	// Policy is an OpPolicyReset payload: the core.Store.Write serialization
+	// of the replacement store.
+	Policy []byte `json:"policy,omitempty"`
+}
+
+// GraphOp wraps one structural delta as a logged operation.
+func GraphOp(d graph.Delta) Op { return Op{Kind: OpGraph, Delta: &d} }
+
+// ShareOp builds the logged form of one Share call.
+func ShareOp(resource string, owner graph.NodeID, ruleID string, conds []string) Op {
+	return Op{Kind: OpShare, Resource: resource, Owner: owner, RuleID: ruleID, Conditions: conds}
+}
+
+// RevokeOp builds the logged form of one Revoke call.
+func RevokeOp(resource, ruleID string) Op {
+	return Op{Kind: OpRevoke, Resource: resource, RuleID: ruleID}
+}
+
+// PolicyResetOp builds the logged form of one LoadPolicies call.
+func PolicyResetOp(policy []byte) Op { return Op{Kind: OpPolicyReset, Policy: policy} }
+
+// Apply replays one decoded operation onto the recovering state. It returns
+// the (possibly replaced) policy store: OpPolicyReset swaps in a new store,
+// every other kind mutates in place and returns s. Apply must never panic on
+// a decoded record, however adversarial — the graph and store validate every
+// reference — so a log that passes CRC but fails application yields a clean
+// recovery error, not a crash.
+func (op Op) Apply(g *graph.Graph, s *core.Store) (*core.Store, error) {
+	switch op.Kind {
+	case OpGraph:
+		if op.Delta == nil {
+			return s, fmt.Errorf("wal: graph op without delta")
+		}
+		return s, g.Apply(*op.Delta)
+	case OpShare:
+		if !g.ValidNode(op.Owner) {
+			return s, fmt.Errorf("wal: share of %q by unknown node %d", op.Resource, op.Owner)
+		}
+		if err := s.Register(core.ResourceID(op.Resource), op.Owner); err != nil {
+			return s, err
+		}
+		rule := &core.Rule{ID: op.RuleID, Resource: core.ResourceID(op.Resource), Owner: op.Owner}
+		for _, cs := range op.Conditions {
+			p, err := pathexpr.Parse(cs)
+			if err != nil {
+				return s, fmt.Errorf("wal: share condition %q: %w", cs, err)
+			}
+			rule.Conditions = append(rule.Conditions, core.Condition{Path: p})
+		}
+		return s, s.AddRule(rule)
+	case OpRevoke:
+		if !s.RemoveRule(core.ResourceID(op.Resource), op.RuleID) {
+			return s, fmt.Errorf("wal: revoke of unknown rule %q on %q", op.RuleID, op.Resource)
+		}
+		return s, nil
+	case OpPolicyReset:
+		ns, err := core.ReadStore(bytes.NewReader(op.Policy), g)
+		if err != nil {
+			return s, fmt.Errorf("wal: policy reset: %w", err)
+		}
+		return ns, nil
+	default:
+		return s, fmt.Errorf("wal: unknown op kind %d", uint8(op.Kind))
+	}
+}
+
+// Record framing constants.
+const (
+	frameHeaderSize = 8
+	// MaxRecordSize bounds one framed payload; a length beyond it marks the
+	// frame (and everything after) as corrupt.
+	MaxRecordSize = 16 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeFrame appends the framed serialization of one record group to buf.
+func encodeFrame(buf []byte, ops []Op) ([]byte, error) {
+	payload, err := json.Marshal(ops)
+	if err != nil {
+		return buf, err
+	}
+	if len(payload) > MaxRecordSize {
+		return buf, fmt.Errorf("wal: record group of %d bytes exceeds limit %d", len(payload), MaxRecordSize)
+	}
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...), nil
+}
+
+// scanFrames walks the framed records in data, calling fn with each
+// CRC-verified payload. It returns the length of the valid prefix: the
+// offset just past the last frame whose length was sane and whose checksum
+// matched. Anything beyond — a short header, a short payload, an absurd
+// length or a CRC mismatch — is a torn or corrupt tail. fn returning false
+// stops the scan (the returned offset still covers the frame just
+// delivered). scanFrames never fails: corruption shortens the prefix.
+func scanFrames(data []byte, fn func(payload []byte) bool) (valid int64) {
+	off := 0
+	for {
+		if len(data)-off < frameHeaderSize {
+			return int64(off)
+		}
+		length := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		crc := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if length > MaxRecordSize || length > len(data)-off-frameHeaderSize {
+			return int64(off)
+		}
+		payload := data[off+frameHeaderSize : off+frameHeaderSize+length]
+		if crc32.Checksum(payload, crcTable) != crc {
+			return int64(off)
+		}
+		off += frameHeaderSize + length
+		if fn != nil && !fn(payload) {
+			return int64(off)
+		}
+	}
+}
+
+// decodeGroup parses one CRC-verified payload into its operations.
+func decodeGroup(payload []byte) ([]Op, error) {
+	var ops []Op
+	if err := json.Unmarshal(payload, &ops); err != nil {
+		return nil, fmt.Errorf("wal: undecodable record group: %w", err)
+	}
+	return ops, nil
+}

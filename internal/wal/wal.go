@@ -1,0 +1,535 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"reachac/internal/core"
+	"reachac/internal/graph"
+)
+
+// SyncPolicy selects when appended records are fsynced.
+type SyncPolicy int
+
+// Sync policies.
+const (
+	// SyncAlways fsyncs before Append returns (group-committed: concurrent
+	// appends waiting on the same fsync are covered by one call). This is
+	// the default and the only policy under which an acknowledged mutation
+	// is guaranteed to survive a machine crash.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs from a background goroutine on a fixed cadence;
+	// a crash may lose up to one interval of acknowledged mutations.
+	SyncInterval
+	// SyncNever leaves syncing to the OS (and to Rotate/Close, which always
+	// sync). A crash may lose anything since the last rotation.
+	SyncNever
+)
+
+// Options configures a Log.
+type Options struct {
+	// Sync is the fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// Interval is the SyncInterval cadence (default 50ms).
+	Interval time.Duration
+}
+
+// Recovered reports what Open reconstructed from the directory.
+type Recovered struct {
+	// Graph and Store hold the recovered state: the latest durable
+	// checkpoint advanced by every decodable record group in the log tail.
+	Graph *graph.Graph
+	Store *core.Store
+	// Groups counts the replayed record groups (acknowledged mutation
+	// batches since the checkpoint).
+	Groups int
+	// TornTail reports that the newest segment ended in a torn or corrupt
+	// frame, which was dropped and physically truncated away.
+	TornTail bool
+	// CheckpointSeq is the segment sequence the loaded checkpoint covered
+	// (0 when recovery started from an empty state).
+	CheckpointSeq uint64
+}
+
+// Log is an append-only write-ahead log over numbered segment files in one
+// directory, with checkpoint-based compaction. Append is safe for concurrent
+// use; Rotate and WriteCheckpoint must be externally serialized against each
+// other (the facade runs them under its mutator lock / a single checkpointer).
+type Log struct {
+	dir    string
+	policy SyncPolicy
+
+	// mu guards the segment file handle and write-side counters.
+	mu       sync.Mutex
+	f        *os.File
+	seq      uint64
+	size     int64
+	appended uint64
+	closed   bool
+	scratch  []byte
+
+	// syncMu serializes fsyncs; synced (guarded by it) is the highest
+	// appended index known durable, giving group commit: a waiter that
+	// finds synced past its own index rides a finished fsync for free.
+	syncMu sync.Mutex
+	synced uint64
+	// syncFailed latches the first fsync failure (error in syncErr, written
+	// once under syncMu). Once set, every Append fails: a log whose
+	// durability is unknown must not keep acknowledging — the background
+	// SyncInterval loop in particular would otherwise swallow disk errors
+	// forever.
+	syncFailed atomic.Bool
+	syncErr    error
+
+	// lock is the flock(2)-held lock file preventing a second process from
+	// opening (and truncating/appending) a live directory.
+	lock *os.File
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+const (
+	segmentPattern    = "wal-%08d.log"
+	checkpointPattern = "checkpoint-%08d.ckpt"
+	defaultInterval   = 50 * time.Millisecond
+)
+
+func segmentPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf(segmentPattern, seq))
+}
+
+func checkpointPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf(checkpointPattern, seq))
+}
+
+// dirState lists the sequence numbers present in a log directory.
+type dirState struct {
+	segments    []uint64 // ascending
+	checkpoints []uint64 // ascending
+}
+
+func scanDir(dir string) (dirState, error) {
+	var st dirState
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return st, err
+	}
+	for _, e := range entries {
+		var seq uint64
+		if n, err := fmt.Sscanf(e.Name(), segmentPattern, &seq); err == nil && n == 1 {
+			st.segments = append(st.segments, seq)
+			continue
+		}
+		if n, err := fmt.Sscanf(e.Name(), checkpointPattern, &seq); err == nil && n == 1 {
+			st.checkpoints = append(st.checkpoints, seq)
+		}
+	}
+	sort.Slice(st.segments, func(i, j int) bool { return st.segments[i] < st.segments[j] })
+	sort.Slice(st.checkpoints, func(i, j int) bool { return st.checkpoints[i] < st.checkpoints[j] })
+	return st, nil
+}
+
+// Open recovers the state persisted in dir — creating it empty if needed —
+// and returns a Log positioned to append after the recovered tail.
+//
+// Recovery loads the newest readable checkpoint (corrupt ones are skipped,
+// falling back to older checkpoints and ultimately to an empty state), then
+// replays the record groups of every segment past it, in sequence order.
+// A torn or corrupt tail is tolerated only on the newest segment: the bad
+// suffix is dropped and truncated away so new appends extend a clean prefix.
+// Corruption anywhere else — a bad frame mid-log, a gap in the segment
+// numbering — is a hard error: silently skipping acknowledged mutations
+// would break the exactly-the-acknowledged-prefix recovery guarantee.
+func Open(dir string, opts Options) (*Log, Recovered, error) {
+	var rec Recovered
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, rec, err
+	}
+	// Recovery truncates torn tails and takes append handles, so a second
+	// opener against a LIVE directory would corrupt the first's log. An
+	// advisory flock (released automatically if the process dies, so a
+	// SIGKILLed owner never wedges recovery) makes that a clean error.
+	lock, err := acquireDirLock(dir)
+	if err != nil {
+		return nil, rec, err
+	}
+	fail := func(err error) (*Log, Recovered, error) {
+		lock.Close()
+		return nil, rec, err
+	}
+	st, err := scanDir(dir)
+	if err != nil {
+		return fail(err)
+	}
+
+	// Newest readable checkpoint wins; unreadable ones (a crash can leave a
+	// half-written temp file but never a half-renamed checkpoint, so this is
+	// defense in depth against external corruption) fall back.
+	rec.Graph, rec.Store = graph.New(), core.NewStore()
+	for i := len(st.checkpoints) - 1; i >= 0; i-- {
+		seq := st.checkpoints[i]
+		g, s, err := readCheckpointFile(checkpointPath(dir, seq))
+		if err != nil {
+			continue
+		}
+		rec.Graph, rec.Store, rec.CheckpointSeq = g, s, seq
+		break
+	}
+
+	// Replay segments past the checkpoint, in order, verifying contiguity.
+	// Rotation creates segment N+1 (durably) before the checkpoint covering
+	// N is written, so a directory holding a checkpoint always holds the
+	// segment right after it: a missing first tail segment is lost history,
+	// as hard an error as a gap further along.
+	replay := st.segments[:0]
+	for _, seq := range st.segments {
+		if seq > rec.CheckpointSeq {
+			replay = append(replay, seq)
+		}
+	}
+	if rec.CheckpointSeq > 0 && (len(replay) == 0 || replay[0] != rec.CheckpointSeq+1) {
+		return fail(fmt.Errorf("wal: segment %d after checkpoint %d is missing", rec.CheckpointSeq+1, rec.CheckpointSeq))
+	}
+	for i, seq := range replay {
+		if i > 0 && seq != replay[i-1]+1 {
+			return fail(fmt.Errorf("wal: segment gap: %d follows %d", seq, replay[i-1]))
+		}
+		last := i == len(replay)-1
+		path := segmentPath(dir, seq)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fail(err)
+		}
+		var applyErr error
+		valid := scanFrames(data, func(payload []byte) bool {
+			ops, err := decodeGroup(payload)
+			if err != nil {
+				applyErr = err
+				return false
+			}
+			for _, op := range ops {
+				if rec.Store, err = op.Apply(rec.Graph, rec.Store); err != nil {
+					applyErr = err
+					return false
+				}
+			}
+			rec.Groups++
+			return true
+		})
+		if applyErr != nil {
+			return fail(fmt.Errorf("wal: segment %d: %w", seq, applyErr))
+		}
+		if valid < int64(len(data)) {
+			if !last {
+				return fail(fmt.Errorf("wal: segment %d: corrupt frame at offset %d before newer segment", seq, valid))
+			}
+			rec.TornTail = true
+			if err := os.Truncate(path, valid); err != nil {
+				return fail(fmt.Errorf("wal: truncating torn tail of segment %d: %w", seq, err))
+			}
+		}
+	}
+
+	// Position the log to append: reuse the newest segment, or start the
+	// first one past the checkpoint.
+	seq := rec.CheckpointSeq + 1
+	if len(replay) > 0 {
+		seq = replay[len(replay)-1]
+	}
+	f, err := os.OpenFile(segmentPath(dir, seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fail(err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fail(err)
+	}
+	l := &Log{
+		dir:    dir,
+		policy: opts.Sync,
+		f:      f,
+		seq:    seq,
+		size:   fi.Size(),
+		lock:   lock,
+	}
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return fail(err)
+	}
+	if opts.Sync == SyncInterval {
+		iv := opts.Interval
+		if iv <= 0 {
+			iv = defaultInterval
+		}
+		l.stop, l.done = make(chan struct{}), make(chan struct{})
+		go l.syncLoop(iv)
+	}
+	return l, rec, nil
+}
+
+// Append durably logs one record group — the operations of one committed
+// mutation batch. Under SyncAlways it returns only once the group is fsynced
+// (concurrent appends share fsyncs); under the other policies it returns
+// after the OS write. An error means the group's durability is unknown and
+// the log must not be trusted for further appends.
+func (l *Log) Append(ops []Op) error {
+	if l.syncFailed.Load() {
+		// A previous fsync failed — possibly one the background interval
+		// syncer ran — so durability of anything already acknowledged is
+		// unknown; refuse to acknowledge more.
+		l.syncMu.Lock()
+		err := l.syncErr
+		l.syncMu.Unlock()
+		return fmt.Errorf("wal: log failed a previous sync: %w", err)
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: log is closed")
+	}
+	buf, err := encodeFrame(l.scratch[:0], ops)
+	l.scratch = buf[:0]
+	if err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	l.size += int64(len(buf))
+	l.appended++
+	idx := l.appended
+	l.mu.Unlock()
+	if l.policy != SyncAlways {
+		return nil
+	}
+	return l.syncTo(idx)
+}
+
+// syncTo blocks until every group appended up to idx is durable, fsyncing at
+// most once per batch of waiters.
+func (l *Log) syncTo(idx uint64) error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	if l.synced >= idx {
+		return nil
+	}
+	l.mu.Lock()
+	target := l.appended
+	f := l.f
+	l.mu.Unlock()
+	if err := f.Sync(); err != nil {
+		if l.syncErr == nil {
+			l.syncErr = err
+		}
+		l.syncFailed.Store(true)
+		return err
+	}
+	l.synced = target
+	return nil
+}
+
+func (l *Log) syncLoop(iv time.Duration) {
+	defer close(l.done)
+	t := time.NewTicker(iv)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			idx := l.appended
+			closed := l.closed
+			l.mu.Unlock()
+			if closed {
+				return
+			}
+			_ = l.syncTo(idx)
+		}
+	}
+}
+
+// Size returns the byte size of the current segment (the rotation trigger).
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Seq returns the current segment sequence number.
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Rotate fsyncs and closes the current segment and starts the next one,
+// returning the sequence number the finished segment covers — the argument a
+// subsequent WriteCheckpoint must pass once it has captured state at least
+// as new as every record in that segment. Callers must serialize Rotate
+// against Append (the facade holds its mutator lock).
+func (l *Log) Rotate() (covered uint64, err error) {
+	// Take syncMu first (the same order syncTo uses) so no fsync of the old
+	// handle races the switch.
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: log is closed")
+	}
+	if err := l.f.Sync(); err != nil {
+		if l.syncErr == nil {
+			l.syncErr = err
+		}
+		l.syncFailed.Store(true)
+		return 0, err
+	}
+	next, err := os.OpenFile(segmentPath(l.dir, l.seq+1), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	if err := syncDir(l.dir); err != nil {
+		next.Close()
+		return 0, err
+	}
+	covered = l.seq
+	l.f.Close()
+	l.f, l.seq, l.size = next, l.seq+1, 0
+	l.synced = l.appended
+	return covered, nil
+}
+
+// WriteCheckpoint durably persists a state snapshot covering every segment
+// up to and including covered (as returned by Rotate), then deletes the
+// segments and checkpoints it supersedes. The checkpoint is written to a
+// temp file, fsynced and renamed into place, so a crash at any point leaves
+// either the old recovery chain or the new one — never neither.
+func (l *Log) WriteCheckpoint(covered uint64, g *graph.Graph, s *core.Store) error {
+	tmp := filepath.Join(l.dir, "checkpoint.tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := writeCheckpoint(f, g, s); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, checkpointPath(l.dir, covered)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+	// The new checkpoint is durable; everything it supersedes can go. Best
+	// effort: a leftover file only wastes space, recovery ignores it.
+	st, err := scanDir(l.dir)
+	if err != nil {
+		return nil
+	}
+	for _, seq := range st.segments {
+		if seq <= covered {
+			os.Remove(segmentPath(l.dir, seq))
+		}
+	}
+	for _, seq := range st.checkpoints {
+		if seq < covered {
+			os.Remove(checkpointPath(l.dir, seq))
+		}
+	}
+	return nil
+}
+
+// Close fsyncs and closes the log. Further appends fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	f := l.f
+	l.mu.Unlock()
+	if l.stop != nil {
+		close(l.stop)
+		<-l.done
+	}
+	err := f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if l.lock != nil {
+		// Closing the fd drops the flock.
+		if cerr := l.lock.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// acquireDirLock takes an exclusive, non-blocking advisory lock on
+// dir/wal.lock. The kernel releases it when the holding process exits —
+// even by SIGKILL — so crash recovery is never blocked by a stale lock.
+func acquireDirLock(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "wal.lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: directory %s is locked by another process: %w", dir, err)
+	}
+	return f, nil
+}
+
+// syncDir fsyncs a directory so entry creations/renames are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// RecordOffsets returns the end offset of every valid frame in a segment
+// file, in order. The crash-consistency tests use it to truncate a log at
+// exact record boundaries.
+func RecordOffsets(path string) ([]int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var offs []int64
+	off := int64(0)
+	scanFrames(data, func(payload []byte) bool {
+		off += frameHeaderSize + int64(len(payload))
+		offs = append(offs, off)
+		return true
+	})
+	return offs, nil
+}

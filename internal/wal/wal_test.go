@@ -1,0 +1,426 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"testing"
+	"time"
+
+	"reachac/internal/core"
+	"reachac/internal/graph"
+)
+
+// buildOps returns a small op sequence touching every kind except
+// OpPolicyReset: two nodes, an edge, a share, a revoke of a second rule.
+func buildOps(t *testing.T) [][]Op {
+	t.Helper()
+	return [][]Op{
+		{GraphOp(graph.Delta{Op: graph.OpAddNode, Name: "alice", Attrs: graph.Attrs{"age": graph.Int(30)}})},
+		{GraphOp(graph.Delta{Op: graph.OpAddNode, Name: "bob"})},
+		{GraphOp(graph.Delta{Op: graph.OpAddEdge, From: 0, To: 1, Label: "friend"})},
+		{ShareOp("photo", 0, "rule-1", []string{"friend+[1,1]"})},
+		{ShareOp("photo", 0, "rule-2", []string{"friend+[1,2]"})},
+		{RevokeOp("photo", "rule-2")},
+	}
+}
+
+func openLog(t *testing.T, dir string, opts Options) (*Log, Recovered) {
+	t.Helper()
+	l, rec, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return l, rec
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, rec := openLog(t, dir, Options{})
+	if rec.Groups != 0 || rec.TornTail {
+		t.Fatalf("fresh dir recovered %+v", rec)
+	}
+	groups := buildOps(t)
+	for _, g := range groups {
+		if err := l.Append(g); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, rec2 := openLog(t, dir, Options{})
+	defer l2.Close()
+	if rec2.Groups != len(groups) {
+		t.Fatalf("recovered %d groups, want %d", rec2.Groups, len(groups))
+	}
+	if rec2.TornTail {
+		t.Fatal("clean log reported a torn tail")
+	}
+	if got := rec2.Graph.NumNodes(); got != 2 {
+		t.Fatalf("recovered %d nodes, want 2", got)
+	}
+	if !rec2.Graph.HasEdge(0, 1, "friend") {
+		t.Fatal("recovered graph missing friend edge")
+	}
+	rules := rec2.Store.RulesFor("photo")
+	if len(rules) != 1 || rules[0].ID != "rule-1" {
+		t.Fatalf("recovered rules %v, want exactly rule-1", rules)
+	}
+	// The revoked rule-2 must have advanced nextID: a fresh auto ID must
+	// not collide with either restored ID.
+	if err := rec2.Store.AddRule(&core.Rule{Resource: "photo", Owner: 0,
+		Conditions: rules[0].Conditions}); err != nil {
+		t.Fatalf("post-recovery AddRule: %v", err)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, Options{})
+	groups := buildOps(t)
+	for _, g := range groups {
+		if err := l.Append(g); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	l.Close()
+
+	seg := segmentPath(dir, 1)
+	offs, err := RecordOffsets(seg)
+	if err != nil {
+		t.Fatalf("RecordOffsets: %v", err)
+	}
+	if len(offs) != len(groups) {
+		t.Fatalf("scanned %d records, want %d", len(offs), len(groups))
+	}
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the final record at several byte positions: recovery must drop
+	// it, report the torn tail, and truncate the file to the valid prefix.
+	prev := offs[len(offs)-2]
+	for _, cut := range []int64{prev + 1, prev + frameHeaderSize, offs[len(offs)-1] - 1} {
+		d := t.TempDir()
+		if err := os.WriteFile(segmentPath(d, 1), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, rec := openLog(t, d, Options{})
+		if !rec.TornTail {
+			t.Fatalf("cut at %d: torn tail not reported", cut)
+		}
+		if rec.Groups != len(groups)-1 {
+			t.Fatalf("cut at %d: recovered %d groups, want %d", cut, rec.Groups, len(groups)-1)
+		}
+		fi, err := os.Stat(segmentPath(d, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() != prev {
+			t.Fatalf("cut at %d: file truncated to %d, want %d", cut, fi.Size(), prev)
+		}
+		// Appending after truncation extends a clean prefix.
+		if err := l2.Append([]Op{GraphOp(graph.Delta{Op: graph.OpAddNode, Name: "carol"})}); err != nil {
+			t.Fatalf("append after truncation: %v", err)
+		}
+		l2.Close()
+		l3, rec3 := openLog(t, d, Options{})
+		if rec3.Groups != len(groups) || rec3.TornTail {
+			t.Fatalf("cut at %d: reopen recovered %+v", cut, rec3)
+		}
+		if _, ok := rec3.Graph.NodeByName("carol"); !ok {
+			t.Fatalf("cut at %d: post-truncation append lost", cut)
+		}
+		l3.Close()
+	}
+}
+
+func TestCorruptMiddleSegmentIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, Options{})
+	for _, g := range buildOps(t)[:3] {
+		if err := l.Append(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.Rotate(); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	if err := l.Append([]Op{GraphOp(graph.Delta{Op: graph.OpAddNode, Name: "dave"})}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Flip a payload byte in the FIRST segment: that is corruption of
+	// acknowledged history with newer records behind it — a hard error,
+	// never a silent skip.
+	seg := segmentPath(dir, 1)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[frameHeaderSize+2] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open succeeded over corrupt middle segment")
+	}
+}
+
+func TestRotateCheckpointPurge(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, Options{})
+	groups := buildOps(t)
+	for _, g := range groups {
+		if err := l.Append(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	covered, err := l.Rotate()
+	if err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	if covered != 1 || l.Seq() != 2 {
+		t.Fatalf("covered %d seq %d, want 1 and 2", covered, l.Seq())
+	}
+	// Post-rotation appends land in the new segment.
+	if err := l.Append([]Op{GraphOp(graph.Delta{Op: graph.OpAddNode, Name: "erin"})}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Checkpoint state = replay of the rotated prefix.
+	g, s := graph.New(), core.NewStore()
+	for _, grp := range groups {
+		for _, op := range grp {
+			if s, err = op.Apply(g, s); err != nil {
+				t.Fatalf("Apply: %v", err)
+			}
+		}
+	}
+	if err := l.WriteCheckpoint(covered, g, s); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	if _, err := os.Stat(segmentPath(dir, 1)); !os.IsNotExist(err) {
+		t.Fatalf("covered segment not purged: %v", err)
+	}
+	l.Close()
+
+	l2, rec := openLog(t, dir, Options{})
+	defer l2.Close()
+	if rec.CheckpointSeq != 1 {
+		t.Fatalf("recovered from checkpoint %d, want 1", rec.CheckpointSeq)
+	}
+	if rec.Groups != 1 {
+		t.Fatalf("replayed %d tail groups, want 1", rec.Groups)
+	}
+	if _, ok := rec.Graph.NodeByName("erin"); !ok {
+		t.Fatal("tail group lost across checkpoint")
+	}
+	if _, ok := rec.Graph.NodeByName("alice"); !ok {
+		t.Fatal("checkpointed state lost")
+	}
+	if rules := rec.Store.RulesFor("photo"); len(rules) != 1 {
+		t.Fatalf("checkpointed rules %v, want 1", rules)
+	}
+}
+
+func TestMissingSegmentAfterCheckpointIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, Options{})
+	for _, g := range buildOps(t) {
+		if err := l.Append(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	covered, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]Op{GraphOp(graph.Delta{Op: graph.OpAddNode, Name: "tail"})}); err != nil {
+		t.Fatal(err)
+	}
+	g, s := graph.New(), core.NewStore()
+	for _, grp := range buildOps(t) {
+		for _, op := range grp {
+			if s, err = op.Apply(g, s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := l.WriteCheckpoint(covered, g, s); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Deleting the first tail segment (checkpoint+1) loses acknowledged
+	// history; recovery must refuse, not silently skip it.
+	if err := os.Remove(segmentPath(dir, covered+1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open succeeded with the post-checkpoint segment missing")
+	}
+}
+
+func TestCorruptCheckpointFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, Options{})
+	groups := buildOps(t)
+	for _, g := range groups {
+		if err := l.Append(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	covered, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, s := graph.New(), core.NewStore()
+	for _, grp := range groups {
+		for _, op := range grp {
+			if s, err = op.Apply(g, s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Write the checkpoint WITHOUT purging the covered segment, then corrupt
+	// it: recovery must fall back to full log replay.
+	var buf bytes.Buffer
+	if err := writeCheckpoint(&buf, g, s); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := buf.Bytes()
+	ckpt[len(ckpt)-3] ^= 0xff
+	if err := os.WriteFile(checkpointPath(dir, covered), ckpt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	l2, rec := openLog(t, dir, Options{})
+	defer l2.Close()
+	if rec.CheckpointSeq != 0 {
+		t.Fatalf("corrupt checkpoint used (seq %d)", rec.CheckpointSeq)
+	}
+	if rec.Groups != len(groups) {
+		t.Fatalf("fallback replayed %d groups, want %d", rec.Groups, len(groups))
+	}
+	if _, ok := rec.Graph.NodeByName("alice"); !ok {
+		t.Fatal("fallback replay lost state")
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	g := graph.New()
+	a := g.MustAddNode("alice", graph.Attrs{"city": graph.String("ghent")})
+	b := g.MustAddNode("bob", nil)
+	g.MustAddEdge(a, b, "friend")
+	s := core.NewStore()
+	if err := s.Register("photo", a); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteState(&buf, g, s); err != nil {
+		t.Fatalf("WriteState: %v", err)
+	}
+	g2, s2, err := ReadState(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadState: %v", err)
+	}
+	if g2.NumNodes() != 2 || !g2.HasEdge(a, b, "friend") {
+		t.Fatal("graph did not round-trip")
+	}
+	if v, ok := g2.Attr(a, "city"); !ok || v.Str() != "ghent" {
+		t.Fatal("attrs did not round-trip")
+	}
+	if owner, ok := s2.Owner("photo"); !ok || owner != a {
+		t.Fatal("store did not round-trip")
+	}
+
+	// Truncated stream: hard error, not empty state.
+	if _, _, err := ReadState(bytes.NewReader(buf.Bytes()[:buf.Len()-4])); err == nil {
+		t.Fatal("truncated state stream read successfully")
+	}
+}
+
+func TestSyncIntervalAndNever(t *testing.T) {
+	for _, opts := range []Options{
+		{Sync: SyncInterval, Interval: 5 * time.Millisecond},
+		{Sync: SyncNever},
+	} {
+		dir := t.TempDir()
+		l, _ := openLog(t, dir, opts)
+		for _, g := range buildOps(t) {
+			if err := l.Append(g); err != nil {
+				t.Fatalf("Append under %v: %v", opts.Sync, err)
+			}
+		}
+		if opts.Sync == SyncInterval {
+			time.Sleep(25 * time.Millisecond)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("Close under %v: %v", opts.Sync, err)
+		}
+		_, rec := openLog(t, dir, Options{})
+		if rec.Groups != len(buildOps(t)) {
+			t.Fatalf("sync %v: recovered %d groups", opts.Sync, rec.Groups)
+		}
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	l, _ := openLog(t, t.TempDir(), Options{})
+	l.Close()
+	if err := l.Append([]Op{GraphOp(graph.Delta{Op: graph.OpAddNode, Name: "x"})}); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+}
+
+func TestPolicyResetOp(t *testing.T) {
+	g := graph.New()
+	a := g.MustAddNode("alice", nil)
+	s := core.NewStore()
+	if err := s.Register("old", a); err != nil {
+		t.Fatal(err)
+	}
+
+	ns := core.NewStore()
+	if err := ns.Register("new", a); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ns.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := PolicyResetOp(buf.Bytes()).Apply(g, s)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if _, ok := s2.Owner("new"); !ok {
+		t.Fatal("reset store missing new resource")
+	}
+	if _, ok := s2.Owner("old"); ok {
+		t.Fatal("reset store kept old resource")
+	}
+}
+
+func TestApplyRejectsBadOps(t *testing.T) {
+	g := graph.New()
+	s := core.NewStore()
+	bad := []Op{
+		{Kind: OpGraph}, // nil delta
+		ShareOp("r", 42, "rule-1", []string{"friend+[1,1]"}),                  // unknown owner
+		RevokeOp("r", "rule-9"),                                               // unknown rule
+		PolicyResetOp([]byte("not json")),                                     // garbage payload
+		{Kind: OpKind(99)},                                                    // unknown kind
+		GraphOp(graph.Delta{Op: graph.OpAddEdge, From: 5, To: 6, Label: "x"}), // dangling edge
+	}
+	for i, op := range bad {
+		if _, err := op.Apply(g, s); err == nil {
+			t.Errorf("bad op %d applied cleanly", i)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package reachac
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sync"
@@ -9,6 +10,7 @@ import (
 	"reachac/internal/core"
 	"reachac/internal/graph"
 	"reachac/internal/pathexpr"
+	"reachac/internal/wal"
 )
 
 // UserID identifies a member of the network.
@@ -107,6 +109,12 @@ type Evaluator = core.Evaluator
 // Evaluators that implement core.IncrementalEvaluator advance in place too;
 // the rest are rebuilt over the advanced clone. Use Batch to coalesce many
 // mutations into one republication.
+//
+// A network created by Open is durable: every committed mutation batch is
+// appended to a write-ahead log (one atomic record group, fsynced per the
+// sync policy) before it is acknowledged, a size-triggered background
+// checkpoint compacts the log, and Open recovers exactly the acknowledged
+// prefix after a crash. See durable.go and internal/wal.
 type Network struct {
 	// mu serializes mutations of the master graph and snapshot
 	// publication; readers never take it on the fast path.
@@ -128,6 +136,24 @@ type Network struct {
 	// fast-forwards its clone through the graph's delta log (O(Δ)) instead
 	// of re-cloning (O(V+E)); see publishLocked. Guarded by mu.
 	spare *snapshot
+
+	// wal, when non-nil, is the durability log a network created by Open
+	// appends every committed mutation batch to before acknowledging it.
+	// walErr poisons the network read-only after an append failure and
+	// closed marks Close; both are guarded by mu. See durable.go.
+	wal      *wal.Log
+	walErr   error
+	closed   bool
+	recovery RecoveryInfo
+	// ckptEvery is the segment size triggering a background checkpoint;
+	// ckptActive admits one checkpointer at a time, ckptWG lets Close and
+	// Checkpoint wait for it, and ckptErr (guarded by ckptMu, not mu)
+	// retains its first failure.
+	ckptEvery  int64
+	ckptActive atomic.Bool
+	ckptWG     sync.WaitGroup
+	ckptMu     sync.Mutex
+	ckptErr    error
 }
 
 // New returns an empty network using the Online engine.
@@ -141,11 +167,16 @@ func newNetwork(g *graph.Graph, store *core.Store) *Network {
 	return n
 }
 
-// AddUser adds a member with optional attributes and returns their ID.
+// AddUser adds a member with optional attributes and returns their ID. On a
+// durable network the addition is logged and fsynced before it returns.
 func (n *Network) AddUser(name string, attrs ...Attr) (UserID, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.addUserLocked(name, attrs)
+	var id UserID
+	err := n.Batch(func(tx *Tx) error {
+		var e error
+		id, e = tx.AddUser(name, attrs...)
+		return e
+	})
+	return id, err
 }
 
 // addUserLocked is AddUser's body, shared with Tx. Callers hold n.mu.
@@ -185,10 +216,7 @@ func (n *Network) UserName(id UserID) string {
 
 // Relate adds a directed typed relationship.
 func (n *Network) Relate(from, to UserID, relType string) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	_, err := n.g.AddEdge(from, to, relType)
-	return err
+	return n.Batch(func(tx *Tx) error { return tx.Relate(from, to, relType) })
 }
 
 // RelateMutual adds the relationship in both directions (e.g. friendship on
@@ -206,17 +234,7 @@ func (n *Network) RelateMutual(a, b UserID, relType string) error {
 
 // Unrelate removes a relationship; it is an error if absent.
 func (n *Network) Unrelate(from, to UserID, relType string) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	l, ok := n.g.LookupLabel(relType)
-	if !ok {
-		return fmt.Errorf("reachac: unknown relationship type %q", relType)
-	}
-	e := n.g.FindEdge(from, to, l)
-	if e == graph.InvalidEdge {
-		return fmt.Errorf("reachac: no %s relationship %d -> %d", relType, from, to)
-	}
-	return n.g.RemoveEdge(e)
+	return n.Batch(func(tx *Tx) error { return tx.Unrelate(from, to, relType) })
 }
 
 // NumUsers returns the member count.
@@ -233,20 +251,44 @@ func (n *Network) NumRelationships() int {
 	return n.g.NumEdges()
 }
 
-// Save serializes the social graph (not the policies) to w.
+// Save serializes the social graph ONLY — policies are deliberately not
+// included, so a graph file stays exchangeable with gengraph/acquery. Pair
+// it with SavePolicies, or use SaveState to persist both in one stream.
 func (n *Network) Save(w io.Writer) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.g.Write(w)
 }
 
-// Load reads a social graph serialized by Save into a fresh network.
+// Load reads a social graph serialized by Save into a fresh network. The
+// policy store starts EMPTY: Save/Load round-trip the graph half of the
+// state only. Restore policies with LoadPolicies, or persist and restore
+// both halves together with SaveState/LoadState.
 func Load(r io.Reader) (*Network, error) {
 	g, err := graph.Read(r)
 	if err != nil {
 		return nil, err
 	}
 	return newNetwork(g, core.NewStore()), nil
+}
+
+// SaveState serializes the whole network state — graph AND policies — as a
+// single stream in the WAL checkpoint format, a consistent point-in-time
+// snapshot even while readers run.
+func (n *Network) SaveState(w io.Writer) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return wal.WriteState(w, n.g, n.store.Load())
+}
+
+// LoadState reads a stream written by SaveState into a fresh (non-durable)
+// network, graph and policies both.
+func LoadState(r io.Reader) (*Network, error) {
+	g, s, err := wal.ReadState(r)
+	if err != nil {
+		return nil, err
+	}
+	return newNetwork(g, s), nil
 }
 
 // FromGraph wraps an existing social graph (used by the command-line tools
@@ -291,33 +333,60 @@ func (n *Network) EngineKind() EngineKind {
 // must satisfy. Calling Share again on the same resource adds an
 // alternative rule (any valid rule grants access). It returns the rule ID.
 func (n *Network) Share(resource string, owner UserID, paths ...string) (string, error) {
+	var id string
+	err := n.Batch(func(tx *Tx) error {
+		var e error
+		id, e = tx.Share(resource, owner, paths...)
+		return e
+	})
+	return id, err
+}
+
+// shareLocked is Share's body, shared with Tx. It returns the assigned rule
+// ID and the canonical condition strings (the WAL record payload). Callers
+// hold n.mu.
+func (n *Network) shareLocked(resource string, owner UserID, paths []string) (string, []string, error) {
 	if len(paths) == 0 {
-		return "", fmt.Errorf("reachac: Share needs at least one path expression")
+		return "", nil, fmt.Errorf("reachac: Share needs at least one path expression")
 	}
 	conds := make([]core.Condition, len(paths))
+	canonical := make([]string, len(paths))
 	for i, s := range paths {
 		p, err := pathexpr.Parse(s)
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
 		conds[i] = core.Condition{Path: p}
+		canonical[i] = p.String()
 	}
 	// Load the store once: registering in one store and adding the rule to
 	// another (swapped in by a concurrent LoadPolicies) would orphan the rule.
 	store := n.store.Load()
 	if err := store.Register(core.ResourceID(resource), owner); err != nil {
-		return "", err
+		return "", nil, err
 	}
 	rule := &core.Rule{Resource: core.ResourceID(resource), Owner: owner, Conditions: conds}
 	if err := store.AddRule(rule); err != nil {
-		return "", err
+		return "", nil, err
 	}
-	return rule.ID, nil
+	return rule.ID, canonical, nil
 }
 
 // Revoke removes a rule from a resource; it reports whether it existed.
+// false also covers the failure modes of a durable network — closed,
+// poisoned, or a failed WAL append (in which case the removal was rolled
+// back and the rule still grants access); callers that must distinguish
+// should use Batch and Tx.Revoke, whose commit error is returned.
 func (n *Network) Revoke(resource, ruleID string) bool {
-	return n.store.Load().RemoveRule(core.ResourceID(resource), ruleID)
+	var ok bool
+	if err := n.Batch(func(tx *Tx) error {
+		ok = tx.Revoke(resource, ruleID)
+		return nil
+	}); err != nil {
+		// The commit failed and the removal was rolled back.
+		return false
+	}
+	return ok
 }
 
 // CanAccess decides whether requester may access resource under the current
@@ -373,15 +442,32 @@ func (n *Network) SavePolicies(w io.Writer) error {
 
 // LoadPolicies replaces the network's policy store with one read from r.
 // Rule owners are validated against the current graph. The engine snapshot
-// is republished on the next access check.
+// is republished on the next access check. On a durable network the
+// replacement is logged (as a whole-store record) before it takes effect.
 func (n *Network) LoadPolicies(r io.Reader) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	store, err := core.ReadStore(r, n.g)
+	if err := n.writeGuardLocked(); err != nil {
+		return err
+	}
+	data, err := io.ReadAll(r)
 	if err != nil {
 		return err
 	}
+	store, err := core.ReadStore(bytes.NewReader(data), n.g)
+	if err != nil {
+		return err
+	}
+	// Swap before committing: commitLocked may trigger a checkpoint, and
+	// that checkpoint must snapshot the NEW store — the record group it
+	// supersedes includes this very reset. On append failure the swap is
+	// undone (the network is poisoned read-only regardless).
+	old := n.store.Load()
 	n.store.Store(store)
+	if err := n.commitLocked([]wal.Op{wal.PolicyResetOp(data)}); err != nil {
+		n.store.Store(old)
+		return err
+	}
 	return nil
 }
 
