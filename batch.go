@@ -24,6 +24,9 @@ type Tx struct {
 	// ops accumulates the write-ahead log record of each applied mutation,
 	// in order; Batch appends them as one atomic record group at commit.
 	ops []wal.Op
+	// ghosts counts ops kept only for replay alignment (node additions of
+	// failed sub-transactions); Stats excludes them from Mutations.
+	ghosts int
 }
 
 // Batch runs fn with a transaction handle, applying all its mutations under
@@ -72,7 +75,42 @@ func (n *Network) Batch(fn func(*Tx) error) error {
 		tx.rollback()
 		return err
 	}
+	if acked := len(tx.ops) - tx.ghosts; acked > 0 {
+		n.ctr.batches.Add(1)
+		n.ctr.mutations.Add(uint64(acked))
+	}
 	return nil
+}
+
+// Sub runs fn as a sub-transaction of the batch: on error, the mutations fn
+// applied are rolled back and their log records dropped, while everything
+// the enclosing batch applied before (and applies after) stands. It is the
+// group-commit coalescing hook: a server can fold the mutation requests of
+// many independent writers into ONE Batch — one atomic record group, one
+// fsync — yet still fail each request individually instead of aborting the
+// whole group. Node additions made by a failed sub-transaction follow the
+// Batch rule for non-invertible mutations: the nodes remain (isolated, never
+// matching any path) and their records stay in the group, keeping replay
+// node-ID allocation aligned with memory.
+func (tx *Tx) Sub(fn func(*Tx) error) error {
+	undoMark, opMark := len(tx.undo), len(tx.ops)
+	err := fn(tx)
+	if err == nil {
+		return nil
+	}
+	for i := len(tx.undo) - 1; i >= undoMark; i-- {
+		tx.undo[i]()
+	}
+	tx.undo = tx.undo[:undoMark]
+	kept := tx.ops[:opMark]
+	for _, op := range tx.ops[opMark:] {
+		if op.Kind == wal.OpGraph && op.Delta != nil && op.Delta.Op == graph.OpAddNode {
+			kept = append(kept, op)
+			tx.ghosts++
+		}
+	}
+	tx.ops = kept
+	return err
 }
 
 // ghostOps returns the batch's non-invertible operations — the node
@@ -95,6 +133,13 @@ func (tx *Tx) rollback() {
 	}
 }
 
+// UserID resolves a member name inside the batch, observing users added
+// earlier in the same batch — which Network.UserID, blocked on the batch's
+// lock, could not show until commit.
+func (tx *Tx) UserID(name string) (UserID, bool) {
+	return tx.n.g.NodeByName(name)
+}
+
 // AddUser is Network.AddUser within the batch.
 func (tx *Tx) AddUser(name string, attrs ...Attr) (UserID, error) {
 	id, err := tx.n.addUserLocked(name, attrs)
@@ -112,6 +157,15 @@ func (tx *Tx) AddUser(name string, attrs ...Attr) (UserID, error) {
 // Relate is Network.Relate within the batch; rolled back on batch failure.
 func (tx *Tx) Relate(from, to UserID, relType string) error {
 	if _, err := tx.n.g.AddEdge(from, to, relType); err != nil {
+		g := tx.n.g
+		switch {
+		case !g.ValidNode(from) || !g.ValidNode(to):
+			return fmt.Errorf("reachac: relate %d -> %d: %w", from, to, ErrUnknownUser)
+		case from == to:
+			return fmt.Errorf("reachac: relate %d to themself: %w", from, ErrSelfRelationship)
+		case g.HasEdge(from, to, relType):
+			return fmt.Errorf("reachac: %s relationship %d -> %d: %w", relType, from, to, ErrDuplicateRelationship)
+		}
 		return err
 	}
 	// Undo by (from, to, label) identity, not EdgeID: a later Unrelate of
@@ -135,11 +189,11 @@ func (tx *Tx) Relate(from, to UserID, relType string) error {
 func (tx *Tx) Unrelate(from, to UserID, relType string) error {
 	l, ok := tx.n.g.LookupLabel(relType)
 	if !ok {
-		return fmt.Errorf("reachac: unknown relationship type %q", relType)
+		return fmt.Errorf("reachac: no relationships of type %q: %w", relType, ErrUnknownRelationship)
 	}
 	e := tx.n.g.FindEdge(from, to, l)
 	if e == graph.InvalidEdge {
-		return fmt.Errorf("reachac: no %s relationship %d -> %d", relType, from, to)
+		return fmt.Errorf("reachac: no %s relationship %d -> %d: %w", relType, from, to, ErrUnknownRelationship)
 	}
 	rec := tx.n.g.Edge(e)
 	if err := tx.n.g.RemoveEdge(e); err != nil {

@@ -198,3 +198,73 @@ func TestBatchSingleRepublication(t *testing.T) {
 		t.Fatal("one republication must absorb the whole batch")
 	}
 }
+
+// TestTxSubPartialRollback pins the group-commit coalescing hook: a failed
+// sub-transaction rolls back only its own mutations, its groupmates commit,
+// and its non-invertible node additions stay logged so WAL replay allocates
+// the same IDs the live graph did.
+func TestTxSubPartialRollback(t *testing.T) {
+	dir := t.TempDir()
+	n, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	a := n.MustAddUser("a")
+	b := n.MustAddUser("b")
+	c := n.MustAddUser("c")
+
+	err = n.Batch(func(tx *Tx) error {
+		if err := tx.Sub(func(tx *Tx) error { return tx.Relate(a, b, "friend") }); err != nil {
+			t.Fatalf("first sub: %v", err)
+		}
+		suberr := tx.Sub(func(tx *Tx) error {
+			if err := tx.Relate(b, c, "friend"); err != nil {
+				return err
+			}
+			if _, err := tx.AddUser("ghost"); err != nil {
+				return err
+			}
+			return errors.New("boom")
+		})
+		if suberr == nil {
+			t.Fatal("failing sub reported success")
+		}
+		return tx.Sub(func(tx *Tx) error { return tx.Relate(a, c, "colleague") })
+	})
+	if err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+
+	if !n.Graph().HasEdge(a, b, "friend") || !n.Graph().HasEdge(a, c, "colleague") {
+		t.Fatal("successful sub-transactions lost")
+	}
+	if n.Graph().HasEdge(b, c, "friend") {
+		t.Fatal("failed sub-transaction's edge survived")
+	}
+	ghost, ok := n.UserID("ghost")
+	if !ok {
+		t.Fatal("non-invertible ghost node vanished in memory")
+	}
+
+	// Replay must allocate identical IDs: the ghost's record stayed in the
+	// group even though its sub-transaction failed.
+	dora := n.MustAddUser("dora")
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n2.Close()
+	if got, ok := n2.UserID("ghost"); !ok || got != ghost {
+		t.Fatalf("ghost = %d, %v after replay (want %d)", got, ok, ghost)
+	}
+	if got, ok := n2.UserID("dora"); !ok || got != dora {
+		t.Fatalf("dora = %d, %v after replay (want %d)", got, ok, dora)
+	}
+	if !n2.Graph().HasEdge(a, b, "friend") || n2.Graph().HasEdge(b, c, "friend") {
+		t.Fatal("replayed graph diverges from the live one")
+	}
+}

@@ -1,0 +1,333 @@
+// Package client is the typed Go client for the acserverd HTTP API. It
+// mirrors the reachac facade's read and mutation surface over the wire and
+// maps the server's error codes back onto the facade's sentinel errors, so
+// code written against a local Network ports to a remote one with the same
+// errors.Is checks:
+//
+//	c, _ := client.New("http://localhost:8708")
+//	if _, err := c.AddUser(ctx, "alice", nil); errors.Is(err, reachac.ErrDuplicateUser) { ... }
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"reachac"
+	"reachac/internal/httpapi"
+)
+
+// Error is the decoded form of a non-2xx API response.
+type Error struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the machine-readable error code (httpapi.Code*).
+	Code string
+	// Message is the server's human-readable error text.
+	Message string
+	// RetryAfter is the server's backoff hint on 503 responses (zero when
+	// absent).
+	RetryAfter time.Duration
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("acserverd: %s (HTTP %d, %s)", e.Message, e.Status, e.Code)
+}
+
+// Is maps wire error codes onto the reachac sentinel errors, so callers
+// classify remote failures exactly like local ones.
+func (e *Error) Is(target error) bool {
+	switch target {
+	case reachac.ErrUnknownUser:
+		return e.Code == httpapi.CodeUnknownUser
+	case reachac.ErrDuplicateUser:
+		return e.Code == httpapi.CodeDuplicateUser
+	case reachac.ErrUnknownResource:
+		return e.Code == httpapi.CodeUnknownResource
+	case reachac.ErrUnknownRelationship:
+		return e.Code == httpapi.CodeUnknownRelationship
+	case reachac.ErrDuplicateRelationship:
+		return e.Code == httpapi.CodeDuplicateRelationship
+	case reachac.ErrSelfRelationship:
+		return e.Code == httpapi.CodeSelfRelationship
+	case reachac.ErrResourceOwned:
+		return e.Code == httpapi.CodeResourceOwned
+	case reachac.ErrReadOnly:
+		return e.Code == httpapi.CodeReadOnly
+	case reachac.ErrClosed:
+		return e.Code == httpapi.CodeClosed
+	}
+	return false
+}
+
+// ErrOverloaded matches responses shed by the server's admission control
+// (full mutation queue, saturated check limiter); retry after
+// Error.RetryAfter.
+var ErrOverloaded = errors.New("server overloaded")
+
+// Decision is the wire form of one access decision; see httpapi.Decision.
+type Decision = httpapi.Decision
+
+// Stats is the combined engine + serving-layer counters; see
+// httpapi.StatsResponse.
+type Stats = httpapi.StatsResponse
+
+// Health is the health endpoint's report; see httpapi.HealthResponse.
+type Health = httpapi.HealthResponse
+
+// Option configures New.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
+}
+
+// Client talks to one acserverd instance. It is safe for concurrent use.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the server at base, e.g. "http://host:8708"
+// (a bare "host:port" gets an http:// scheme).
+func New(base string, opts ...Option) (*Client, error) {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	u, err := url.Parse(base)
+	if err != nil {
+		return nil, fmt.Errorf("client: bad server address %q: %w", base, err)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("client: server address %q has no host", base)
+	}
+	c := &Client{base: strings.TrimRight(u.String(), "/"), http: &http.Client{Timeout: 30 * time.Second}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// do issues one request and decodes the response into out (when non-nil).
+func (c *Client) do(ctx context.Context, method, path string, query url.Values, body, out any) error {
+	u := c.base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeError turns a non-2xx response into an *Error (wrapping
+// ErrOverloaded for shed load, so errors.Is(err, client.ErrOverloaded)
+// works alongside the sentinel mapping).
+func decodeError(resp *http.Response) error {
+	apiErr := &Error{Status: resp.StatusCode}
+	var body httpapi.ErrorBody
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err == nil {
+		apiErr.Code, apiErr.Message = body.Code, body.Error
+	}
+	if apiErr.Message == "" {
+		apiErr.Message = resp.Status
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	if apiErr.Code == httpapi.CodeOverloaded {
+		return fmt.Errorf("%w: %w", ErrOverloaded, apiErr)
+	}
+	return apiErr
+}
+
+// Health fetches the liveness and recovery report.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var out Health
+	err := c.do(ctx, http.MethodGet, httpapi.PathHealth, nil, nil, &out)
+	return out, err
+}
+
+// Stats fetches the engine and serving-layer counters.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var out Stats
+	err := c.do(ctx, http.MethodGet, httpapi.PathStats, nil, nil, &out)
+	return out, err
+}
+
+// AddUser creates a member with optional attributes (string, numeric or
+// bool values) and returns its ID.
+func (c *Client) AddUser(ctx context.Context, name string, attrs map[string]any) (reachac.UserID, error) {
+	var out httpapi.UserResponse
+	err := c.do(ctx, http.MethodPost, httpapi.PathUsers, nil, httpapi.AddUserRequest{Name: name, Attrs: attrs}, &out)
+	return reachac.UserID(out.ID), err
+}
+
+// UserID resolves a member name.
+func (c *Client) UserID(ctx context.Context, name string) (reachac.UserID, error) {
+	var out httpapi.UserResponse
+	err := c.do(ctx, http.MethodGet, httpapi.PathUsers+"/"+url.PathEscape(name), nil, nil, &out)
+	return reachac.UserID(out.ID), err
+}
+
+// Relate adds a directed typed relationship between named members.
+func (c *Client) Relate(ctx context.Context, from, to, relType string) error {
+	return c.do(ctx, http.MethodPost, httpapi.PathRelationships, nil,
+		httpapi.RelateRequest{From: from, To: to, Type: relType}, nil)
+}
+
+// RelateMutual adds the relationship in both directions atomically.
+func (c *Client) RelateMutual(ctx context.Context, a, b, relType string) error {
+	return c.do(ctx, http.MethodPost, httpapi.PathRelationships, nil,
+		httpapi.RelateRequest{From: a, To: b, Type: relType, Mutual: true}, nil)
+}
+
+// Unrelate removes a relationship.
+func (c *Client) Unrelate(ctx context.Context, from, to, relType string) error {
+	return c.do(ctx, http.MethodDelete, httpapi.PathRelationships, nil,
+		httpapi.UnrelateRequest{From: from, To: to, Type: relType}, nil)
+}
+
+// Share attaches one access rule (all paths must hold) to resource,
+// registering it to owner on first use, and returns the rule ID.
+func (c *Client) Share(ctx context.Context, resource, owner string, paths ...string) (string, error) {
+	var out httpapi.ShareResponse
+	err := c.do(ctx, http.MethodPost, httpapi.PathShare, nil,
+		httpapi.ShareRequest{Resource: resource, Owner: owner, Paths: paths}, &out)
+	return out.Rule, err
+}
+
+// Revoke detaches a rule, reporting whether it existed.
+func (c *Client) Revoke(ctx context.Context, resource, rule string) (bool, error) {
+	var out httpapi.RevokeResponse
+	err := c.do(ctx, http.MethodPost, httpapi.PathRevoke, nil,
+		httpapi.RevokeRequest{Resource: resource, Rule: rule}, &out)
+	return out.Removed, err
+}
+
+// Check decides whether requester may access resource.
+func (c *Client) Check(ctx context.Context, resource, requester string) (Decision, error) {
+	var out Decision
+	q := url.Values{"resource": {resource}, "requester": {requester}}
+	err := c.do(ctx, http.MethodGet, httpapi.PathCheck, q, nil, &out)
+	return out, err
+}
+
+// CheckBatch decides one resource for many requesters against a single
+// consistent snapshot; the result is index-aligned with requesters.
+func (c *Client) CheckBatch(ctx context.Context, resource string, requesters []string) ([]Decision, error) {
+	var out httpapi.CheckBatchResponse
+	err := c.do(ctx, http.MethodPost, httpapi.PathCheckBatch, nil,
+		httpapi.CheckBatchRequest{Resource: resource, Requesters: requesters}, &out)
+	return out.Decisions, err
+}
+
+// Audience lists every member the resource's rules admit.
+func (c *Client) Audience(ctx context.Context, resource string) ([]string, error) {
+	var out httpapi.UsersResponse
+	q := url.Values{"resource": {resource}}
+	err := c.do(ctx, http.MethodGet, httpapi.PathAudience, q, nil, &out)
+	return out.Users, err
+}
+
+// Reach answers a raw reachability query: does a path matching expr lead
+// from owner to requester?
+func (c *Client) Reach(ctx context.Context, owner, requester, expr string) (bool, error) {
+	var out httpapi.ReachResponse
+	q := url.Values{"owner": {owner}, "requester": {requester}, "path": {expr}}
+	err := c.do(ctx, http.MethodGet, httpapi.PathReach, q, nil, &out)
+	return out.Reachable, err
+}
+
+// ReachAudience lists every member a path expression reaches from owner.
+func (c *Client) ReachAudience(ctx context.Context, owner, expr string) ([]string, error) {
+	var out httpapi.UsersResponse
+	q := url.Values{"owner": {owner}, "path": {expr}}
+	err := c.do(ctx, http.MethodGet, httpapi.PathReachAudience, q, nil, &out)
+	return out.Users, err
+}
+
+// Audit fetches the retained decision tail, oldest first; n bounds the
+// length (0 means everything retained).
+func (c *Client) Audit(ctx context.Context, n int) ([]Decision, error) {
+	var out httpapi.AuditResponse
+	q := url.Values{}
+	if n > 0 {
+		q.Set("n", strconv.Itoa(n))
+	}
+	err := c.do(ctx, http.MethodGet, httpapi.PathAudit, q, nil, &out)
+	return out.Decisions, err
+}
+
+// Policies exports the server's policy store serialization.
+func (c *Client) Policies(ctx context.Context) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+httpapi.PathPolicies, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return nil, decodeError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// SetPolicies replaces the server's policy store with a serialization
+// produced by Policies (or reachac.Network.SavePolicies).
+func (c *Client) SetPolicies(ctx context.Context, policies []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.base+httpapi.PathPolicies, bytes.NewReader(policies))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return decodeError(resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}

@@ -15,10 +15,13 @@
 //
 // Instead of -graph, -dir opens a durable network directory (as written by
 // reachac.Open): the graph is recovered from the latest checkpoint plus the
-// write-ahead log tail before the query runs.
+// write-ahead log tail before the query runs. And instead of either, -addr
+// routes the query to a running acserverd over HTTP through the typed
+// client — same flags, same output, evaluated by the server's engine.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -26,6 +29,7 @@ import (
 	"time"
 
 	"reachac"
+	"reachac/client"
 	"reachac/internal/core"
 	"reachac/internal/graph"
 	"reachac/internal/joinindex"
@@ -34,38 +38,126 @@ import (
 	"reachac/internal/tclosure"
 )
 
+// querier is the shared query surface: the local evaluators and the remote
+// acserverd client both implement it, so every flag combination runs the
+// same code path after setup.
+type querier interface {
+	// reach reports whether a path matching expr leads owner -> requester.
+	reach(owner, requester, expr string) (bool, error)
+	// audience enumerates the member names expr reaches from owner.
+	audience(owner, expr string) ([]string, error)
+	// numMembers sizes the population, for the audience summary line.
+	numMembers() (int, error)
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("acquery: ")
 	var (
 		graphPath = flag.String("graph", "", "graph file (from gengraph or Network.Save)")
 		dirPath   = flag.String("dir", "", "durable network directory (from reachac.Open); alternative to -graph")
+		addr      = flag.String("addr", "", "acserverd address (host:port or URL); alternative to -graph/-dir")
 		owner     = flag.String("owner", "", "resource owner (member name)")
 		requester = flag.String("requester", "", "access requester (member name)")
 		pathStr   = flag.String("path", "", "path expression, e.g. 'friend+[1,2]/colleague+[1]'")
-		engine    = flag.String("engine", "online", "evaluator: online, closure, index")
+		engine    = flag.String("engine", "online", "evaluator: online, closure, index (local modes only)")
 		audience  = flag.Bool("audience", false, "enumerate the full audience instead of one requester")
-		explain   = flag.Bool("explain", false, "print a witness path on grant (online engine)")
+		explain   = flag.Bool("explain", false, "print a witness path on grant (local online engine)")
 	)
 	flag.Parse()
-	if (*graphPath == "") == (*dirPath == "") || *owner == "" || *pathStr == "" {
+	sources := 0
+	for _, s := range []string{*graphPath, *dirPath, *addr} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources != 1 || *owner == "" || *pathStr == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	canonical, err := reachac.ParsePath(*pathStr)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	var g *graph.Graph
-	if *dirPath != "" {
-		n, err := reachac.Open(*dirPath)
+	var q querier
+	if *addr != "" {
+		c, err := client.New(*addr)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer n.Close()
+		q = &remoteQuerier{c: c}
+	} else {
+		lq, closeFn := newLocalQuerier(*graphPath, *dirPath, *engine)
+		defer closeFn()
+		q = lq
+	}
+
+	if *audience {
+		names, err := q.audience(*owner, *pathStr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, name := range names {
+			fmt.Println(name)
+		}
+		total, err := q.numMembers()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("%d of %d members in the audience of %s/%s",
+			len(names), total-1, *owner, canonical)
+		return
+	}
+
+	if *requester == "" {
+		log.Fatal("need -requester or -audience")
+	}
+	start := time.Now()
+	granted, err := q.reach(*owner, *requester, *pathStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	el := time.Since(start)
+	if granted {
+		fmt.Printf("ALLOW  %s -> %s via %s  (%v)\n", *owner, *requester, canonical, el)
+		if *explain {
+			if lq, ok := q.(*localQuerier); ok {
+				lq.printWitness(*owner, *requester, *pathStr)
+			} else {
+				log.Print("-explain needs a local graph (-graph or -dir)")
+			}
+		}
+	} else {
+		fmt.Printf("DENY   %s -> %s via %s  (%v)\n", *owner, *requester, canonical, el)
+	}
+}
+
+// localQuerier evaluates against an in-process graph and engine.
+type localQuerier struct {
+	g    *graph.Graph
+	eval core.Evaluator
+}
+
+// newLocalQuerier loads the graph from a file or durable directory and
+// builds the selected evaluator; the returned func releases the directory.
+func newLocalQuerier(graphPath, dirPath, engine string) (*localQuerier, func()) {
+	var (
+		g       *graph.Graph
+		closeFn = func() {}
+	)
+	if dirPath != "" {
+		n, err := reachac.Open(dirPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		closeFn = func() { n.Close() }
 		rec := n.Recovery()
 		log.Printf("recovered %d users, %d relationships (%d WAL groups past checkpoint %d, torn tail: %v)",
 			n.NumUsers(), n.NumRelationships(), rec.Groups, rec.CheckpointSeq, rec.TornTail)
 		g = n.Graph()
 	} else {
-		f, err := os.Open(*graphPath)
+		f, err := os.Open(graphPath)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -76,17 +168,9 @@ func main() {
 			log.Fatal(rerr)
 		}
 	}
-	p, err := pathexpr.Parse(*pathStr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	ownerID, ok := g.NodeByName(*owner)
-	if !ok {
-		log.Fatalf("unknown member %q", *owner)
-	}
 
 	var eval core.Evaluator
-	switch *engine {
+	switch engine {
 	case "online":
 		eval = search.New(g)
 	case "closure":
@@ -101,66 +185,96 @@ func main() {
 			time.Since(start).Round(time.Millisecond), idx.Stats().LineNodes, idx.Stats().SCCs)
 		eval = idx
 	default:
-		log.Fatalf("unknown engine %q (have online, closure, index)", *engine)
+		log.Fatalf("unknown engine %q (have online, closure, index)", engine)
 	}
+	return &localQuerier{g: g, eval: eval}, closeFn
+}
 
-	if *audience {
-		count := 0
-		g.Nodes(func(n graph.Node) bool {
-			if n.ID == ownerID {
-				return true
-			}
-			ok, err := eval.Reachable(ownerID, n.ID, p)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if ok {
-				fmt.Println(n.Name)
-				count++
-			}
+func (q *localQuerier) member(name string) graph.NodeID {
+	id, ok := q.g.NodeByName(name)
+	if !ok {
+		log.Fatalf("unknown member %q", name)
+	}
+	return id
+}
+
+func (q *localQuerier) reach(owner, requester, expr string) (bool, error) {
+	p, err := pathexpr.Parse(expr)
+	if err != nil {
+		return false, err
+	}
+	return q.eval.Reachable(q.member(owner), q.member(requester), p)
+}
+
+func (q *localQuerier) audience(owner, expr string) ([]string, error) {
+	p, err := pathexpr.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	ownerID := q.member(owner)
+	var names []string
+	var ferr error
+	q.g.Nodes(func(n graph.Node) bool {
+		if n.ID == ownerID {
 			return true
-		})
-		log.Printf("%d of %d members in the audience of %s/%s",
-			count, g.NumNodes()-1, *owner, p)
+		}
+		ok, err := q.eval.Reachable(ownerID, n.ID, p)
+		if err != nil {
+			ferr = err
+			return false
+		}
+		if ok {
+			names = append(names, n.Name)
+		}
+		return true
+	})
+	return names, ferr
+}
+
+func (q *localQuerier) numMembers() (int, error) { return q.g.NumNodes(), nil }
+
+// printWitness prints a witness path for a granted online-engine query.
+func (q *localQuerier) printWitness(owner, requester, expr string) {
+	p, err := pathexpr.Parse(expr)
+	if err != nil {
 		return
 	}
-
-	if *requester == "" {
-		log.Fatal("need -requester or -audience")
+	ownerID, reqID := q.member(owner), q.member(requester)
+	hops, ok, err := search.New(q.g).Witness(ownerID, reqID, p)
+	if err != nil || !ok {
+		return
 	}
-	reqID, ok := g.NodeByName(*requester)
-	if !ok {
-		log.Fatalf("unknown member %q", *requester)
-	}
-	start := time.Now()
-	granted, err := eval.Reachable(ownerID, reqID, p)
-	if err != nil {
-		log.Fatal(err)
-	}
-	el := time.Since(start)
-	if granted {
-		fmt.Printf("ALLOW  %s -> %s via %s  (%v)\n", *owner, *requester, p, el)
-		if *explain {
-			hops, ok, err := search.New(g).Witness(ownerID, reqID, p)
-			if err == nil && ok {
-				cur := ownerID
-				fmt.Printf("  %s", g.Node(cur).Name)
-				for _, h := range hops {
-					next := h.Edge.To
-					if !h.Forward {
-						next = h.Edge.From
-					}
-					dir := ">"
-					if !h.Forward {
-						dir = "<"
-					}
-					fmt.Printf(" -%s%s- %s", g.LabelName(h.Edge.Label), dir, g.Node(next).Name)
-					cur = next
-				}
-				fmt.Println()
-			}
+	cur := ownerID
+	fmt.Printf("  %s", q.g.Node(cur).Name)
+	for _, h := range hops {
+		next := h.Edge.To
+		if !h.Forward {
+			next = h.Edge.From
 		}
-	} else {
-		fmt.Printf("DENY   %s -> %s via %s  (%v)\n", *owner, *requester, p, el)
+		dir := ">"
+		if !h.Forward {
+			dir = "<"
+		}
+		fmt.Printf(" -%s%s- %s", q.g.LabelName(h.Edge.Label), dir, q.g.Node(next).Name)
+		cur = next
 	}
+	fmt.Println()
+}
+
+// remoteQuerier routes queries to a running acserverd.
+type remoteQuerier struct {
+	c *client.Client
+}
+
+func (q *remoteQuerier) reach(owner, requester, expr string) (bool, error) {
+	return q.c.Reach(context.Background(), owner, requester, expr)
+}
+
+func (q *remoteQuerier) audience(owner, expr string) ([]string, error) {
+	return q.c.ReachAudience(context.Background(), owner, expr)
+}
+
+func (q *remoteQuerier) numMembers() (int, error) {
+	h, err := q.c.Health(context.Background())
+	return h.Users, err
 }

@@ -1,0 +1,143 @@
+// Command acserverd serves reachability-based access control over HTTP: it
+// opens (or creates) a durable network directory and exposes the JSON API of
+// internal/httpapi — users, relationships, share/revoke, check, check-batch,
+// audience, raw reachability, policies, audit tail, health and stats.
+//
+// Usage:
+//
+//	acserverd -dir /var/lib/reachac [-addr :8708] [-engine online|closure|index|...]
+//	          [-sync always|interval|never] [-sync-interval 50ms]
+//	          [-checkpoint-every 4194304] [-max-checks 64] [-max-queue 1024]
+//	          [-coalesce 128] [-coalesce-wait 0]
+//
+// Concurrent mutations are coalesced into shared write-ahead-log commit
+// groups (one fsync covers many writers); reads are served lock-free off the
+// published engine snapshot behind an admission limiter that sheds overload
+// with 503 + Retry-After. SIGINT/SIGTERM shut the daemon down gracefully:
+// the listener stops, queued mutations drain and commit, a final checkpoint
+// compacts the log (skipped when nothing changed), and the directory is
+// released. A SIGKILL instead loses nothing acknowledged: the next start
+// replays the log tail.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"reachac"
+	"reachac/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("acserverd: ")
+	var (
+		addr         = flag.String("addr", ":8708", "listen address")
+		dir          = flag.String("dir", "", "durable network directory (required; created if absent)")
+		engine       = flag.String("engine", "online", "evaluator: online, online-dfs, online-adaptive, closure, index, index-paper")
+		syncMode     = flag.String("sync", "always", "WAL fsync policy: always, interval, never")
+		syncInterval = flag.Duration("sync-interval", 50*time.Millisecond, "fsync cadence under -sync interval")
+		ckptEvery    = flag.Int64("checkpoint-every", reachac.DefaultCheckpointEvery, "WAL segment bytes triggering a background checkpoint (<=0 disables)")
+		maxChecks    = flag.Int("max-checks", 0, "max concurrent read requests (0 = 4×GOMAXPROCS)")
+		maxQueue     = flag.Int("max-queue", 0, "mutation admission queue bound (0 = 1024)")
+		coalesce     = flag.Int("coalesce", 0, "max mutations folded into one commit group (0 = 128)")
+		coalesceWait = flag.Duration("coalesce-wait", 0, "how long the committer lingers for more mutations (0 = drain-only)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
+	)
+	flag.Parse()
+	if *dir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	kind, err := engineKind(*engine)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := []reachac.Option{reachac.WithEngine(kind), reachac.WithCheckpointEvery(*ckptEvery)}
+	switch *syncMode {
+	case "always":
+		opts = append(opts, reachac.WithSync(reachac.SyncAlways))
+	case "interval":
+		opts = append(opts, reachac.WithSyncInterval(*syncInterval))
+	case "never":
+		opts = append(opts, reachac.WithSync(reachac.SyncNever))
+	default:
+		log.Fatalf("unknown -sync %q (have always, interval, never)", *syncMode)
+	}
+
+	n, err := reachac.Open(*dir, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec := n.Recovery()
+	log.Printf("recovered %d users, %d relationships from %s (%d WAL groups past checkpoint %d, torn tail: %v)",
+		n.NumUsers(), n.NumRelationships(), *dir, rec.Groups, rec.CheckpointSeq, rec.TornTail)
+
+	srv := server.New(n, server.Config{
+		MaxConcurrentChecks: *maxChecks,
+		MaxQueuedMutations:  *maxQueue,
+		CoalesceBatch:       *coalesce,
+		CoalesceWait:        *coalesceWait,
+	})
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv,
+		// Slow-client bounds: a trickled request must not hold a connection
+		// (or, via the handlers, an admission slot) indefinitely.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("serving %s engine on %s", kind, *addr)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down: draining requests and queued mutations")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		log.Printf("HTTP shutdown: %v", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	log.Print("clean shutdown")
+}
+
+// engineKind parses the -engine flag.
+func engineKind(s string) (reachac.EngineKind, error) {
+	for _, k := range []reachac.EngineKind{
+		reachac.Online, reachac.OnlineDFS, reachac.OnlineAdaptive,
+		reachac.Closure, reachac.Index, reachac.IndexPaperJoin,
+	} {
+		if s == k.String() {
+			return k, nil
+		}
+	}
+	// Convenience shorthands matching acquery's vocabulary.
+	switch s {
+	case "online":
+		return reachac.Online, nil
+	case "index":
+		return reachac.Index, nil
+	case "index-paper":
+		return reachac.IndexPaperJoin, nil
+	}
+	return 0, fmt.Errorf("unknown -engine %q (have online, online-dfs, online-adaptive, closure, index, index-paper)", s)
+}

@@ -134,36 +134,46 @@ func (n *Network) Close() error {
 
 // Checkpoint synchronously compacts the log: it waits for any background
 // checkpoint, rotates the WAL and writes a durable checkpoint of the current
-// state, after which the superseded segments are deleted. It is an error on
-// non-durable or closed networks.
+// state, after which the superseded segments are deleted. When no record was
+// appended since the last checkpoint the call is a no-op — an idle Close or
+// SIGTERM does not rewrite an identical checkpoint file. It is
+// ErrNotDurable on networks not created by Open and ErrClosed after Close.
 func (n *Network) Checkpoint() error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.wal == nil {
-		return fmt.Errorf("reachac: Checkpoint on a non-durable network")
+		return fmt.Errorf("reachac: Checkpoint: %w", ErrNotDurable)
 	}
 	if err := n.writeGuardLocked(); err != nil {
 		return err
 	}
 	// Safe to wait under mu: the background checkpointer never takes it.
 	n.ckptWG.Wait()
+	if n.wal.Clean() {
+		n.ctr.ckptSkipped.Add(1)
+		return nil
+	}
 	covered, err := n.wal.Rotate()
 	if err != nil {
 		return err
 	}
 	// No clones needed: mu blocks every mutator for the whole (synchronous)
 	// write, and the checkpoint writers only read.
-	return n.wal.WriteCheckpoint(covered, n.g, n.store.Load())
+	if err := n.wal.WriteCheckpoint(covered, n.g, n.store.Load()); err != nil {
+		return err
+	}
+	n.ctr.ckptTaken.Add(1)
+	return nil
 }
 
 // writeGuardLocked rejects mutations on closed or WAL-poisoned networks.
 // Callers hold n.mu.
 func (n *Network) writeGuardLocked() error {
 	if n.closed {
-		return fmt.Errorf("reachac: network is closed")
+		return fmt.Errorf("reachac: %w", ErrClosed)
 	}
 	if n.walErr != nil {
-		return fmt.Errorf("reachac: network is read-only after WAL failure: %w", n.walErr)
+		return fmt.Errorf("reachac: %w: %v", ErrReadOnly, n.walErr)
 	}
 	return nil
 }
@@ -211,7 +221,9 @@ func (n *Network) maybeCheckpointLocked() {
 		defer n.ckptActive.Store(false)
 		if err := n.wal.WriteCheckpoint(covered, gc, sc); err != nil {
 			n.recordCkptErr(err)
+			return
 		}
+		n.ctr.ckptTaken.Add(1)
 	}()
 }
 

@@ -521,3 +521,64 @@ func TestSaveStateLoadStateRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestCheckpointSkippedWhenClean pins the idle no-op: Checkpoint rewrites
+// nothing when no WAL record was appended since the last checkpoint, so an
+// idle Close or SIGTERM never rewrites identical checkpoint files.
+func TestCheckpointSkippedWhenClean(t *testing.T) {
+	dir := t.TempDir()
+	n, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	// A brand-new empty directory has nothing to checkpoint.
+	if err := n.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint on empty network: %v", err)
+	}
+	if st := n.Stats(); st.Checkpoints != 0 || st.CheckpointsSkipped != 1 {
+		t.Fatalf("empty checkpoint not skipped: %+v", st)
+	}
+
+	buildDurable(t, n)
+	if err := n.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st1 := n.Stats()
+	if st1.Checkpoints != 1 {
+		t.Fatalf("dirty checkpoint not taken: %+v", st1)
+	}
+
+	// Nothing appended since: the second call must neither rotate nor write.
+	if err := n.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := n.Stats()
+	if st2.WALSegmentSeq != st1.WALSegmentSeq {
+		t.Fatal("idle Checkpoint rotated the log")
+	}
+	if st2.Checkpoints != 1 || st2.CheckpointsSkipped != 2 {
+		t.Fatalf("idle checkpoint not skipped: %+v", st2)
+	}
+
+	// A mutation dirties the log again and the next checkpoint is real.
+	n.MustAddUser("dora")
+	if err := n.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if st := n.Stats(); st.Checkpoints != 2 {
+		t.Fatalf("post-mutation checkpoint skipped: %+v", st)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n2.Close()
+	if _, ok := n2.UserID("dora"); !ok || n2.NumUsers() != 4 {
+		t.Fatalf("recovery after skip/take sequence lost state (%d users)", n2.NumUsers())
+	}
+}

@@ -345,6 +345,13 @@ func (l *AuditLog) Decisions() []Decision {
 	return append([]Decision(nil), l.trail...)
 }
 
+// Len returns the retained trail length without copying it.
+func (l *AuditLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.trail)
+}
+
 // Engine intercepts access requests and decides them against a Store using
 // an Evaluator, keeping a bounded audit trail. Decide is safe for concurrent
 // use provided the Store and Evaluator are (a frozen Store clone and a

@@ -1,0 +1,179 @@
+// Package httpapi defines the wire types and error codes of the acserverd
+// HTTP/JSON API, shared by the server (internal/server) and the typed Go
+// client (client). Users and resources travel by name — the stable,
+// human-facing identifiers — with numeric IDs included where cheap.
+package httpapi
+
+import "reachac"
+
+// API paths, versioned under /v1.
+const (
+	PathHealth        = "/v1/health"
+	PathStats         = "/v1/stats"
+	PathUsers         = "/v1/users"
+	PathRelationships = "/v1/relationships"
+	PathShare         = "/v1/share"
+	PathRevoke        = "/v1/revoke"
+	PathCheck         = "/v1/check"
+	PathCheckBatch    = "/v1/check-batch"
+	PathAudience      = "/v1/audience"
+	PathReach         = "/v1/reach"
+	PathReachAudience = "/v1/reach-audience"
+	PathPolicies      = "/v1/policies"
+	PathAudit         = "/v1/audit"
+)
+
+// Error codes carried by ErrorBody.Code; the client maps them back to the
+// facade's sentinel errors so errors.Is works across the wire.
+const (
+	CodeBadRequest            = "bad-request"
+	CodeUnknownUser           = "unknown-user"
+	CodeDuplicateUser         = "duplicate-user"
+	CodeUnknownResource       = "unknown-resource"
+	CodeUnknownRelationship   = "unknown-relationship"
+	CodeDuplicateRelationship = "duplicate-relationship"
+	CodeSelfRelationship      = "self-relationship"
+	CodeResourceOwned         = "resource-owned"
+	CodeReadOnly              = "read-only"
+	CodeClosed                = "closed"
+	CodeOverloaded            = "overloaded"
+	CodeInternal              = "internal"
+)
+
+// ErrorBody is the JSON body of every non-2xx response.
+type ErrorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// AddUserRequest creates a member. Attrs values may be strings, numbers or
+// booleans (the attribute kinds the graph supports).
+type AddUserRequest struct {
+	Name  string         `json:"name"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// UserResponse describes one member.
+type UserResponse struct {
+	ID   uint32 `json:"id"`
+	Name string `json:"name"`
+}
+
+// RelateRequest adds (POST) a relationship; Mutual adds both directions
+// atomically.
+type RelateRequest struct {
+	From   string `json:"from"`
+	To     string `json:"to"`
+	Type   string `json:"type"`
+	Mutual bool   `json:"mutual,omitempty"`
+}
+
+// UnrelateRequest removes (DELETE body) a relationship.
+type UnrelateRequest struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Type string `json:"type"`
+}
+
+// ShareRequest attaches one access rule to a resource, registering it to
+// owner on first use. Paths are the rule's conditions (all must hold).
+type ShareRequest struct {
+	Resource string   `json:"resource"`
+	Owner    string   `json:"owner"`
+	Paths    []string `json:"paths"`
+}
+
+// ShareResponse returns the assigned rule ID.
+type ShareResponse struct {
+	Rule string `json:"rule"`
+}
+
+// RevokeRequest detaches one rule from a resource.
+type RevokeRequest struct {
+	Resource string `json:"resource"`
+	Rule     string `json:"rule"`
+}
+
+// RevokeResponse reports whether the rule existed.
+type RevokeResponse struct {
+	Removed bool `json:"removed"`
+}
+
+// Decision is the wire form of one access decision, with the requester
+// resolved to a name when possible.
+type Decision struct {
+	Resource  string `json:"resource"`
+	Requester string `json:"requester"`
+	Effect    string `json:"effect"`
+	Rule      string `json:"rule,omitempty"`
+	Reason    string `json:"reason,omitempty"`
+}
+
+// CheckBatchRequest decides one resource for many requesters in one
+// consistent snapshot (Network.CanAccessAll).
+type CheckBatchRequest struct {
+	Resource   string   `json:"resource"`
+	Requesters []string `json:"requesters"`
+}
+
+// CheckBatchResponse is index-aligned with the request's requesters.
+type CheckBatchResponse struct {
+	Decisions []Decision `json:"decisions"`
+}
+
+// UsersResponse lists member names (audience results).
+type UsersResponse struct {
+	Users []string `json:"users"`
+}
+
+// ReachResponse answers a raw reachability query, echoing the canonical
+// form of the path expression.
+type ReachResponse struct {
+	Reachable bool   `json:"reachable"`
+	Path      string `json:"path"`
+}
+
+// AuditResponse is the retained decision tail, oldest first.
+type AuditResponse struct {
+	Decisions []Decision `json:"decisions"`
+}
+
+// Recovery mirrors reachac.RecoveryInfo.
+type Recovery struct {
+	Groups        int    `json:"groups"`
+	TornTail      bool   `json:"torn_tail"`
+	CheckpointSeq uint64 `json:"checkpoint_seq"`
+}
+
+// HealthResponse reports liveness and what recovery reconstructed.
+type HealthResponse struct {
+	Status        string    `json:"status"`
+	Engine        string    `json:"engine"`
+	Durable       bool      `json:"durable"`
+	Users         int       `json:"users"`
+	Relationships int       `json:"relationships"`
+	Recovery      *Recovery `json:"recovery,omitempty"`
+}
+
+// ServerStats counts serving-layer events on top of the engine counters.
+type ServerStats struct {
+	// CommitGroups counts coalesced commit groups the server flushed;
+	// CoalescedMutations counts the mutation requests they carried.
+	// CoalescedMutations/CommitGroups is the achieved write-coalescing
+	// factor.
+	CommitGroups       uint64 `json:"commit_groups"`
+	CoalescedMutations uint64 `json:"coalesced_mutations"`
+	// QueueRejected counts mutations refused because the queue was full or
+	// the request deadline expired while queued; CheckRejected counts reads
+	// refused by the concurrency limiter.
+	QueueRejected uint64 `json:"queue_rejected"`
+	CheckRejected uint64 `json:"check_rejected"`
+	// QueueDepth is the instantaneous mutation queue length.
+	QueueDepth int `json:"queue_depth"`
+}
+
+// StatsResponse combines the engine's counters with the server's.
+type StatsResponse struct {
+	reachac.Stats
+	Server ServerStats `json:"server"`
+}

@@ -1,0 +1,46 @@
+package server
+
+import (
+	"context"
+	"time"
+)
+
+// gate is the read-side admission controller: a counting semaphore bounding
+// in-flight checks so a burst cannot pile up unbounded goroutines behind the
+// evaluator. Acquisition is deadline-aware — a request waits at most wait
+// (and never past its own context) before being rejected for the caller to
+// turn into 503 + Retry-After.
+type gate struct {
+	sem  chan struct{}
+	wait time.Duration
+}
+
+func newGate(slots int, wait time.Duration) *gate {
+	return &gate{sem: make(chan struct{}, slots), wait: wait}
+}
+
+// acquire reserves one slot, reporting false when none frees up within the
+// admission window or the request's own deadline. A true return must be
+// balanced by release.
+func (g *gate) acquire(ctx context.Context) bool {
+	select {
+	case g.sem <- struct{}{}:
+		return true
+	default:
+	}
+	if g.wait <= 0 {
+		return false
+	}
+	t := time.NewTimer(g.wait)
+	defer t.Stop()
+	select {
+	case g.sem <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return false
+	}
+}
+
+func (g *gate) release() { <-g.sem }

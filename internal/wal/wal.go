@@ -73,6 +73,15 @@ type Log struct {
 	appended uint64
 	closed   bool
 	scratch  []byte
+	// ckptSeq is the segment sequence the newest durable checkpoint covers
+	// (recovered at Open, advanced by WriteCheckpoint); with it, Clean can
+	// tell an idle log from one holding uncheckpointed records.
+	ckptSeq uint64
+
+	// fsyncs counts data-file fsyncs (append group commits, rotations and
+	// close), the durability cost the facade's Stats surface so callers can
+	// observe group-commit amortization.
+	fsyncs atomic.Uint64
 
 	// syncMu serializes fsyncs; synced (guarded by it) is the highest
 	// appended index known durable, giving group commit: a waiter that
@@ -253,12 +262,13 @@ func Open(dir string, opts Options) (*Log, Recovered, error) {
 		return fail(err)
 	}
 	l := &Log{
-		dir:    dir,
-		policy: opts.Sync,
-		f:      f,
-		seq:    seq,
-		size:   fi.Size(),
-		lock:   lock,
+		dir:     dir,
+		policy:  opts.Sync,
+		f:       f,
+		seq:     seq,
+		size:    fi.Size(),
+		ckptSeq: rec.CheckpointSeq,
+		lock:    lock,
 	}
 	if err := syncDir(dir); err != nil {
 		f.Close()
@@ -327,6 +337,7 @@ func (l *Log) syncTo(idx uint64) error {
 	target := l.appended
 	f := l.f
 	l.mu.Unlock()
+	l.fsyncs.Add(1)
 	if err := f.Sync(); err != nil {
 		if l.syncErr == nil {
 			l.syncErr = err
@@ -373,6 +384,27 @@ func (l *Log) Seq() uint64 {
 	return l.seq
 }
 
+// Appends returns the number of record groups appended since Open.
+func (l *Log) Appends() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appended
+}
+
+// Fsyncs returns the number of data-file fsyncs issued since Open.
+func (l *Log) Fsyncs() uint64 { return l.fsyncs.Load() }
+
+// Clean reports that every record in the log is already covered by a durable
+// checkpoint (or that the log never held one): the live segment is empty and
+// immediately follows the newest checkpoint, so a new checkpoint would
+// capture exactly the state the recovery chain already reconstructs.
+// Callers use it to elide identical checkpoint rewrites on idle shutdown.
+func (l *Log) Clean() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size == 0 && l.seq == l.ckptSeq+1
+}
+
 // Rotate fsyncs and closes the current segment and starts the next one,
 // returning the sequence number the finished segment covers — the argument a
 // subsequent WriteCheckpoint must pass once it has captured state at least
@@ -388,6 +420,7 @@ func (l *Log) Rotate() (covered uint64, err error) {
 	if l.closed {
 		return 0, fmt.Errorf("wal: log is closed")
 	}
+	l.fsyncs.Add(1)
 	if err := l.f.Sync(); err != nil {
 		if l.syncErr == nil {
 			l.syncErr = err
@@ -442,6 +475,11 @@ func (l *Log) WriteCheckpoint(covered uint64, g *graph.Graph, s *core.Store) err
 	if err := syncDir(l.dir); err != nil {
 		return err
 	}
+	l.mu.Lock()
+	if covered > l.ckptSeq {
+		l.ckptSeq = covered
+	}
+	l.mu.Unlock()
 	// The new checkpoint is durable; everything it supersedes can go. Best
 	// effort: a leftover file only wastes space, recovery ignores it.
 	st, err := scanDir(l.dir)
@@ -475,6 +513,7 @@ func (l *Log) Close() error {
 		close(l.stop)
 		<-l.done
 	}
+	l.fsyncs.Add(1)
 	err := f.Sync()
 	if cerr := f.Close(); err == nil {
 		err = cerr

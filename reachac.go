@@ -154,6 +154,9 @@ type Network struct {
 	ckptWG     sync.WaitGroup
 	ckptMu     sync.Mutex
 	ckptErr    error
+
+	// ctr tallies operations for Stats.
+	ctr counters
 }
 
 // New returns an empty network using the Online engine.
@@ -188,7 +191,11 @@ func (n *Network) addUserLocked(name string, attrs []Attr) (UserID, error) {
 			a[at.Key] = at.Val
 		}
 	}
-	return n.g.AddNode(name, a)
+	id, err := n.g.AddNode(name, a)
+	if err != nil {
+		return id, fmt.Errorf("reachac: user %q: %w", name, ErrDuplicateUser)
+	}
+	return id, nil
 }
 
 // MustAddUser is AddUser panicking on error, for examples and tests.
@@ -349,6 +356,9 @@ func (n *Network) shareLocked(resource string, owner UserID, paths []string) (st
 	if len(paths) == 0 {
 		return "", nil, fmt.Errorf("reachac: Share needs at least one path expression")
 	}
+	if !n.g.ValidNode(owner) {
+		return "", nil, fmt.Errorf("reachac: share of %q by user %d: %w", resource, owner, ErrUnknownUser)
+	}
 	conds := make([]core.Condition, len(paths))
 	canonical := make([]string, len(paths))
 	for i, s := range paths {
@@ -362,6 +372,10 @@ func (n *Network) shareLocked(resource string, owner UserID, paths []string) (st
 	// Load the store once: registering in one store and adding the rule to
 	// another (swapped in by a concurrent LoadPolicies) would orphan the rule.
 	store := n.store.Load()
+	if cur, ok := store.Owner(core.ResourceID(resource)); ok && cur != owner {
+		return "", nil, fmt.Errorf("reachac: share of %q by user %d (owned by %d): %w",
+			resource, owner, cur, ErrResourceOwned)
+	}
 	if err := store.Register(core.ResourceID(resource), owner); err != nil {
 		return "", nil, err
 	}
@@ -401,6 +415,7 @@ func (n *Network) CanAccess(resource string, requester UserID) (Decision, error)
 		return Decision{}, err
 	}
 	defer s.release()
+	n.ctr.checks.Add(1)
 	return s.decide(core.ResourceID(resource), requester)
 }
 
@@ -416,6 +431,7 @@ func (n *Network) CheckPath(owner, requester UserID, expr string) (bool, error) 
 		return false, err
 	}
 	defer s.release()
+	n.ctr.checks.Add(1)
 	return s.eval.Reachable(owner, requester, p)
 }
 
@@ -474,11 +490,26 @@ func (n *Network) LoadPolicies(r io.Reader) error {
 // Audience enumerates every user granted access to resource by its current
 // rules (excluding the owner, who always has access). Like CanAccess it
 // runs against the current engine snapshot, concurrently with other reads.
+// An unregistered resource is ErrUnknownResource.
 func (n *Network) Audience(resource string) ([]UserID, error) {
 	s, err := n.snapshot()
 	if err != nil {
 		return nil, err
 	}
 	defer s.release()
-	return s.store.Audience(core.ResourceID(resource), s.g, s.eval)
+	n.ctr.audiences.Add(1)
+	return s.audience(resource)
+}
+
+// PathAudience enumerates every user a path expression starting at owner
+// reaches — the audience a Share with that single condition would grant.
+// Like the other reads it runs against the current engine snapshot.
+func (n *Network) PathAudience(owner UserID, expr string) ([]UserID, error) {
+	s, err := n.snapshot()
+	if err != nil {
+		return nil, err
+	}
+	defer s.release()
+	n.ctr.audiences.Add(1)
+	return s.pathAudience(owner, expr)
 }

@@ -248,6 +248,7 @@ func (n *Network) publishLocked() (*snapshot, error) {
 		gen:     gen,
 		refs:    refs,
 	}
+	n.ctr.republications.Add(1)
 	old := n.snap.Swap(s)
 	if old != nil && old != s {
 		old.retired.Store(true)
@@ -326,7 +327,15 @@ func (n *Network) CanAccessAll(resource string, requesters []UserID) ([]Decision
 		return nil, err
 	}
 	defer s.release()
-	res := core.ResourceID(resource)
+	n.ctr.batchChecks.Add(1)
+	n.ctr.checks.Add(uint64(len(requesters)))
+	return s.decideAll(core.ResourceID(resource), requesters)
+}
+
+// decideAll is CanAccessAll's body over an already-pinned snapshot, shared
+// with View.CanAccessAll.
+func (s *snapshot) decideAll(res core.ResourceID, requesters []UserID) ([]Decision, error) {
+	var err error
 	out := make([]Decision, len(requesters))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(requesters) {

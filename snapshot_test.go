@@ -1,8 +1,8 @@
 package reachac
 
 import (
+	"errors"
 	"fmt"
-	"strings"
 	"testing"
 )
 
@@ -170,7 +170,7 @@ func TestRelateMutualRollback(t *testing.T) {
 		t.Fatal(err)
 	}
 	err := n.RelateMutual(a, b, "friend")
-	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+	if !errors.Is(err, ErrDuplicateRelationship) {
 		t.Fatalf("RelateMutual over an existing reverse edge: %v", err)
 	}
 	if n.Graph().HasEdge(a, b, "friend") {

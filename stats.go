@@ -1,0 +1,100 @@
+package reachac
+
+import "sync/atomic"
+
+// Stats is a point-in-time snapshot of the network's operation counters,
+// sized for a monitoring endpoint: cheap to collect, monotonic within one
+// process lifetime (the counters restart at zero on reopen).
+type Stats struct {
+	// Users, Relationships and Resources size the current state.
+	Users         int `json:"users"`
+	Relationships int `json:"relationships"`
+	Resources     int `json:"resources"`
+	// Engine names the selected evaluator kind.
+	Engine string `json:"engine"`
+	// Durable reports whether mutations persist to a write-ahead log.
+	Durable bool `json:"durable"`
+
+	// Checks counts single access decisions (CanAccess and CheckPath,
+	// including every per-requester decision of a CanAccessAll batch);
+	// BatchChecks counts CanAccessAll calls; Audiences counts audience
+	// enumerations (resource- and path-based).
+	Checks      uint64 `json:"checks"`
+	BatchChecks uint64 `json:"batch_checks"`
+	Audiences   uint64 `json:"audiences"`
+
+	// Mutations counts acknowledged operations (records kept only for
+	// replay alignment — a failed sub-transaction's node additions — are
+	// excluded); Batches counts the committed Batch groups carrying them.
+	// Mutations/Batches is the achieved write coalescing factor.
+	Mutations uint64 `json:"mutations"`
+	Batches   uint64 `json:"batches"`
+
+	// Republications counts engine snapshot publications (the slow path a
+	// reader pays after a change).
+	Republications uint64 `json:"republications"`
+
+	// Checkpoints counts checkpoints taken; CheckpointsSkipped counts
+	// Checkpoint calls satisfied as no-ops because the log was already fully
+	// covered by the last checkpoint.
+	Checkpoints        uint64 `json:"checkpoints"`
+	CheckpointsSkipped uint64 `json:"checkpoints_skipped"`
+
+	// WALAppends counts appended record groups, WALFsyncs the fsyncs that
+	// made them (and rotations/closes) durable; WALFsyncs < Mutations means
+	// group commit amortized fsync cost across writers. WALSegmentBytes and
+	// WALSegmentSeq describe the live segment. All four are zero on
+	// non-durable networks.
+	WALAppends      uint64 `json:"wal_appends"`
+	WALFsyncs       uint64 `json:"wal_fsyncs"`
+	WALSegmentBytes int64  `json:"wal_segment_bytes"`
+	WALSegmentSeq   uint64 `json:"wal_segment_seq"`
+
+	// AuditRetained is the current length of the retained decision trail.
+	AuditRetained int `json:"audit_retained"`
+}
+
+// counters holds the network's atomically-updated operation tallies; see
+// Stats for field meanings.
+type counters struct {
+	checks         atomic.Uint64
+	batchChecks    atomic.Uint64
+	audiences      atomic.Uint64
+	mutations      atomic.Uint64
+	batches        atomic.Uint64
+	republications atomic.Uint64
+	ckptTaken      atomic.Uint64
+	ckptSkipped    atomic.Uint64
+}
+
+// Stats collects the network's operation counters and current sizes. It is
+// safe for concurrent use; the sizes are read under the mutation lock, the
+// counters are atomic.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	users, rels, kind := n.g.NumNodes(), n.g.NumEdges(), n.kind
+	n.mu.Unlock()
+	st := Stats{
+		Users:              users,
+		Relationships:      rels,
+		Resources:          len(n.store.Load().Resources()),
+		Engine:             kind.String(),
+		Durable:            n.wal != nil,
+		Checks:             n.ctr.checks.Load(),
+		BatchChecks:        n.ctr.batchChecks.Load(),
+		Audiences:          n.ctr.audiences.Load(),
+		Mutations:          n.ctr.mutations.Load(),
+		Batches:            n.ctr.batches.Load(),
+		Republications:     n.ctr.republications.Load(),
+		Checkpoints:        n.ctr.ckptTaken.Load(),
+		CheckpointsSkipped: n.ctr.ckptSkipped.Load(),
+		AuditRetained:      n.audit.Len(),
+	}
+	if n.wal != nil {
+		st.WALAppends = n.wal.Appends()
+		st.WALFsyncs = n.wal.Fsyncs()
+		st.WALSegmentBytes = n.wal.Size()
+		st.WALSegmentSeq = n.wal.Seq()
+	}
+	return st
+}

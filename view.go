@@ -1,0 +1,155 @@
+package reachac
+
+import (
+	"fmt"
+	"sort"
+
+	"reachac/internal/core"
+	"reachac/internal/graph"
+	"reachac/internal/pathexpr"
+)
+
+// View pins one engine snapshot for a group of read operations: every call
+// on the view — name resolution included — observes the same immutable
+// graph clone and frozen policy view, with no per-call locking. It is how
+// the serving layer answers a request that mixes resolution and decision
+// (resolve the requester's name, then check) without racing concurrent
+// mutators and without touching the network's mutation lock.
+//
+// A view holds its snapshot's reader pin until Close, which must be called
+// (keep views request-scoped and short-lived: a pinned snapshot blocks the
+// O(Δ) clone-advance of the next publication). After Close every method
+// panics. A View is safe for concurrent use before Close.
+type View struct {
+	n *Network
+	s *snapshot
+}
+
+// View pins the current engine snapshot (republishing first if the graph or
+// policies changed) and returns a handle reading from it. The caller must
+// Close the view.
+func (n *Network) View() (*View, error) {
+	s, err := n.snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return &View{n: n, s: s}, nil
+}
+
+// Close releases the view's snapshot pin. It must be called exactly once.
+func (v *View) Close() {
+	v.s.release()
+	v.s = nil
+}
+
+// UserID resolves a member name against the view's graph.
+func (v *View) UserID(name string) (UserID, bool) {
+	return v.s.g.NodeByName(name)
+}
+
+// UserName returns the name of a member, or false for an ID the view's
+// graph does not contain.
+func (v *View) UserName(id UserID) (string, bool) {
+	if !v.s.g.ValidNode(id) {
+		return "", false
+	}
+	return v.s.g.Node(id).Name, true
+}
+
+// NumUsers returns the member count of the view.
+func (v *View) NumUsers() int { return v.s.g.NumNodes() }
+
+// NumRelationships returns the live relationship count of the view.
+func (v *View) NumRelationships() int { return v.s.g.NumEdges() }
+
+// CanAccess is Network.CanAccess against the pinned snapshot.
+func (v *View) CanAccess(resource string, requester UserID) (Decision, error) {
+	v.n.ctr.checks.Add(1)
+	return v.s.decide(core.ResourceID(resource), requester)
+}
+
+// CanAccessAll is Network.CanAccessAll against the pinned snapshot.
+func (v *View) CanAccessAll(resource string, requesters []UserID) ([]Decision, error) {
+	v.n.ctr.batchChecks.Add(1)
+	v.n.ctr.checks.Add(uint64(len(requesters)))
+	return v.s.decideAll(core.ResourceID(resource), requesters)
+}
+
+// CheckPath is Network.CheckPath against the pinned snapshot.
+func (v *View) CheckPath(owner, requester UserID, expr string) (bool, error) {
+	p, err := pathexpr.Parse(expr)
+	if err != nil {
+		return false, err
+	}
+	v.n.ctr.checks.Add(1)
+	return v.s.eval.Reachable(owner, requester, p)
+}
+
+// Audience is Network.Audience against the pinned snapshot.
+func (v *View) Audience(resource string) ([]UserID, error) {
+	v.n.ctr.audiences.Add(1)
+	return v.s.audience(resource)
+}
+
+// PathAudience is Network.PathAudience against the pinned snapshot.
+func (v *View) PathAudience(owner UserID, expr string) ([]UserID, error) {
+	v.n.ctr.audiences.Add(1)
+	return v.s.pathAudience(owner, expr)
+}
+
+// audience enumerates the users the resource's rules admit; an unregistered
+// resource is ErrUnknownResource.
+func (s *snapshot) audience(resource string) ([]UserID, error) {
+	res := core.ResourceID(resource)
+	if _, ok := s.store.Owner(res); !ok {
+		return nil, fmt.Errorf("reachac: audience of %q: %w", resource, ErrUnknownResource)
+	}
+	return s.store.Audience(res, s.g, s.eval)
+}
+
+// pathAudience enumerates the users a parsed path expression reaches from
+// owner, excluding the owner, in ID order. Evaluators that can materialize
+// an audience in one traversal (core.AudienceSetEvaluator) are used
+// directly; the rest fall back to one reachability query per member.
+func (s *snapshot) pathAudience(owner UserID, expr string) ([]UserID, error) {
+	p, err := pathexpr.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	if !s.g.ValidNode(owner) {
+		return nil, fmt.Errorf("reachac: path audience of user %d: %w", owner, ErrUnknownUser)
+	}
+	if fast, ok := s.eval.(core.AudienceSetEvaluator); ok {
+		ids, err := fast.AudienceSet(owner, p)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]UserID, 0, len(ids))
+		for _, id := range ids {
+			if id != owner {
+				out = append(out, id)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out, nil
+	}
+	var (
+		out      []UserID
+		firstErr error
+	)
+	s.g.Nodes(func(n graph.Node) bool {
+		if n.ID == owner {
+			return true
+		}
+		ok, err := s.eval.Reachable(owner, n.ID, p)
+		if err != nil {
+			firstErr = err
+			return false
+		}
+		if ok {
+			out = append(out, n.ID)
+		}
+		return true
+	})
+	return out, firstErr
+}
