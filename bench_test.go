@@ -529,3 +529,64 @@ func BenchmarkTwoHopInsert(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkScenarioMixes measures per-operation cost of the acbench
+// workload mixes (internal/workload) against the embedded facade with the
+// paper's join index — the same operation streams cmd/acbench drives at
+// scale, here as fixed-op-count testing.B targets.
+func BenchmarkScenarioMixes(b *testing.B) {
+	base := benchGraph("social")
+	specs := workload.Resources(base, 16, 7)
+	for _, mix := range workload.Mixes() {
+		b.Run(mix.Name, func(b *testing.B) {
+			n := FromGraph(base.Clone())
+			if err := n.Batch(func(tx *Tx) error {
+				for _, spec := range specs {
+					if _, err := tx.Share(spec.Name, spec.Owner, spec.Paths...); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+			if err := n.UseEngine(Index); err != nil {
+				b.Fatal(err)
+			}
+			gen := workload.NewGenerator(base, mix, workload.GenConfig{Resources: specs}, 11)
+			rules := make([][]string, len(specs))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				op := gen.Next()
+				spec := specs[op.Resource]
+				var err error
+				switch op.Kind {
+				case workload.OpCheck:
+					_, err = n.CanAccess(spec.Name, op.Requester)
+				case workload.OpCheckBatch:
+					_, err = n.CanAccessAll(spec.Name, op.Requesters)
+				case workload.OpAudience:
+					_, err = n.Audience(spec.Name)
+				case workload.OpRelate:
+					err = n.Relate(op.From, op.To, op.RelType)
+				case workload.OpUnrelate:
+					err = n.Unrelate(op.From, op.To, op.RelType)
+				case workload.OpShare:
+					var rule string
+					if rule, err = n.Share(spec.Name, op.Owner, op.Paths...); err == nil {
+						rules[op.Resource] = append(rules[op.Resource], rule)
+					}
+				case workload.OpRevoke:
+					if q := rules[op.Resource]; len(q) > 0 {
+						n.Revoke(spec.Name, q[0])
+						rules[op.Resource] = q[1:]
+					}
+				}
+				if err != nil {
+					b.Fatal(op.Kind, err)
+				}
+			}
+		})
+	}
+}

@@ -98,6 +98,9 @@ type Client struct {
 	http *http.Client
 }
 
+// BaseURL returns the normalized server address the client targets.
+func (c *Client) BaseURL() string { return c.base }
+
 // New returns a client for the server at base, e.g. "http://host:8708"
 // (a bare "host:port" gets an http:// scheme).
 func New(base string, opts ...Option) (*Client, error) {

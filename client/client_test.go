@@ -102,4 +102,11 @@ func TestBadAddress(t *testing.T) {
 	if _, err := client.New("localhost:8708"); err != nil {
 		t.Fatalf("bare host:port rejected: %v", err)
 	}
+	c, err := client.New("localhost:8708/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.BaseURL(); got != "http://localhost:8708" {
+		t.Fatalf("BaseURL = %q, want normalized http://localhost:8708", got)
+	}
 }

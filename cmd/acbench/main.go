@@ -1,0 +1,372 @@
+// Command acbench is the repo's workload/load-generation benchmark: it
+// drives mixed-operation scenarios (internal/workload) through a
+// closed-loop or paced worker pool (internal/loadgen) against either the
+// embedded reachac facade or a real acserverd over HTTP, and writes a
+// machine-readable artifact (BENCH_acbench.json) with per-scenario
+// throughput, latency percentiles, error/shed counts and engine/WAL
+// counter deltas — the perf trajectory successive PRs are compared on.
+//
+// Run benchmarks:
+//
+//	acbench -mode embedded -engines online,index -scenarios all \
+//	        -nodes 2000 -duration 3s -out BENCH_acbench.json
+//	acbench -mode http                   # self-hosts a real serving stack
+//	acbench -mode http -addr host:8708   # drives an external daemon
+//	acbench -mode both -append           # accumulate both into one artifact
+//
+// Compare against a committed baseline (the CI regression gate):
+//
+//	acbench -compare bench/baseline.json -in BENCH_acbench.json -max-regress 0.25
+//
+// Comparison normalizes throughput by each artifact's calibration score
+// (a fixed CPU reference loop timed at startup), so a baseline recorded
+// on one machine transfers to a differently-sized CI runner.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"reachac"
+	"reachac/internal/benchutil"
+	"reachac/internal/generate"
+	"reachac/internal/graph"
+	"reachac/internal/loadgen"
+	"reachac/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("acbench: ")
+	var (
+		mode      = flag.String("mode", "embedded", "benchmark mode: embedded, http, or both")
+		addr      = flag.String("addr", "", "drive an external acserverd at this address (http mode; default self-hosts one per engine)")
+		engines   = flag.String("engines", "online,index", "comma-separated engine kinds, or 'all'")
+		scenarios = flag.String("scenarios", "all", "comma-separated scenario mixes, or 'all' (have: read-heavy, write-heavy, check-batch, audience-scan, churn)")
+		nodes     = flag.Int("nodes", 2000, "social graph size")
+		degree    = flag.Int("degree", 8, "average out-degree of the generated graph")
+		resources = flag.Int("resources", 48, "pre-shared resources per scenario")
+		workers   = flag.Int("workers", 8, "load-generating workers")
+		duration  = flag.Duration("duration", 3*time.Second, "measured window per scenario")
+		warmup    = flag.Duration("warmup", 500*time.Millisecond, "warmup before the measured window")
+		rate      = flag.Float64("rate", 0, "open-loop target ops/sec across all workers (0 = closed loop)")
+		batch     = flag.Int("batch", 16, "check-batch requesters per request")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		syncMode  = flag.String("sync", "interval", "self-hosted server WAL fsync policy: always, interval, never")
+		out       = flag.String("out", "BENCH_acbench.json", "artifact output path")
+		appendArt = flag.Bool("append", false, "merge results into an existing artifact at -out instead of replacing it")
+		compare   = flag.String("compare", "", "compare -in against this baseline artifact and exit (nonzero on regression)")
+		in        = flag.String("in", "", "artifact to compare (default: -out)")
+		maxReg    = flag.Float64("max-regress", 0.25, "allowed normalized throughput regression before -compare fails")
+	)
+	flag.Parse()
+
+	if *compare != "" {
+		os.Exit(runCompare(*compare, orDefault(*in, *out), *maxReg))
+	}
+
+	modes, err := parseModes(*mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kinds, err := parseEngines(*engines)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mixes, err := parseScenarios(*scenarios, *batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	syncOpt, err := parseSync(*syncMode)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	log.Printf("calibrating host")
+	art := newArtifact(*seed, calibrationScore())
+	log.Printf("calibration score %.1f Mops/s, %d CPUs", art.CalibrationScore, art.CPUs)
+
+	cfg := benchConfig{
+		nodes: *nodes, degree: *degree, resources: *resources,
+		workers: *workers, duration: *duration, warmup: *warmup,
+		rate: *rate, seed: *seed, addr: *addr, syncOpt: syncOpt,
+		seeded: make(map[string]bool),
+	}
+	g := generate.OSN(generate.OSNConfig{Nodes: *nodes, AvgOutDegree: *degree, Seed: *seed})
+	specs := workload.Resources(g, *resources, *seed+1)
+	log.Printf("graph: %d users, %d relationships; %d resources", g.NumNodes(), g.NumEdges(), len(specs))
+
+	for _, m := range modes {
+		for _, kind := range kinds {
+			for _, mix := range mixes {
+				res, err := runScenario(m, g, kind, mix, specs, cfg)
+				if err != nil {
+					log.Fatalf("%s/%s/%s: %v", m, kind, mix.Name, err)
+				}
+				art.Scenarios = append(art.Scenarios, res)
+				log.Printf("%-8s %-16s %-13s %9.0f ops/s  p50 %7.0fµs  p99 %7.0fµs  err %d  shed %d",
+					res.Mode, res.Engine, res.Scenario, res.Throughput,
+					res.Latency.P50, res.Latency.P99, res.Errors, res.Shed)
+			}
+			if m == "http" && cfg.addr != "" {
+				break // an external daemon serves one engine; don't redrive it per kind
+			}
+		}
+	}
+
+	if *appendArt {
+		if prev, err := readArtifact(*out); err == nil {
+			prev.merge(art)
+			prev.CalibrationScore = art.CalibrationScore
+			art = prev
+		} else if !os.IsNotExist(err) {
+			log.Fatalf("-append: %v", err)
+		}
+	}
+	if err := art.write(*out); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d scenarios)", *out, len(art.Scenarios))
+	printTable(art)
+}
+
+type benchConfig struct {
+	nodes, degree, resources, workers int
+	duration, warmup                  time.Duration
+	rate                              float64
+	seed                              int64
+	addr                              string
+	syncOpt                           reachac.Option
+	// seeded tracks external daemons this process already loaded the
+	// graph into, so later scenario cells skip the redundant wire-seeding.
+	seeded map[string]bool
+}
+
+// runScenario benchmarks one (mode, engine, mix) cell: build the target,
+// spin up per-worker deterministic generators, run the loadgen window,
+// and fold the counter deltas into a ScenarioResult.
+func runScenario(mode string, g *graph.Graph, kind reachac.EngineKind, mix workload.Mix, specs []workload.ResourceSpec, cfg benchConfig) (ScenarioResult, error) {
+	var (
+		t   target
+		err error
+	)
+	switch mode {
+	case "embedded":
+		t, err = newEmbeddedTarget(g, kind, specs, cfg.workers)
+	case "http":
+		if cfg.addr != "" {
+			t, err = newExternalTarget(cfg.addr, g, specs, cfg.workers, cfg.seeded[cfg.addr])
+			if err == nil {
+				cfg.seeded[cfg.addr] = true
+			}
+		} else {
+			t, err = newSelfHostedTarget(g, kind, specs, cfg.workers, cfg.syncOpt)
+		}
+	default:
+		err = fmt.Errorf("unknown mode %q", mode)
+	}
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	defer t.close()
+
+	gens := make([]*workload.Generator, cfg.workers)
+	for w := range gens {
+		gens[w] = workload.NewGenerator(g, mix, workload.GenConfig{
+			Resources: specs,
+			Worker:    w,
+			Workers:   cfg.workers,
+		}, cfg.seed+int64(w)*7919)
+	}
+	before, err := t.stats()
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	res := loadgen.Run(context.Background(), loadgen.Config{
+		Workers:  cfg.workers,
+		Duration: cfg.duration,
+		Warmup:   cfg.warmup,
+		Rate:     cfg.rate,
+		Classify: t.classify,
+	}, func(ctx context.Context, worker int) error {
+		return t.do(ctx, worker, gens[worker].Next())
+	})
+	after, err := t.stats()
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+
+	engine := t.engineName()
+	if engine == "" {
+		engine = kind.String()
+	}
+	total := res.Ops + res.Errors + res.Shed
+	sr := ScenarioResult{
+		Mode:        mode,
+		Engine:      engine,
+		Scenario:    mix.Name,
+		Nodes:       g.NumNodes(),
+		Edges:       g.NumEdges(),
+		Resources:   len(specs),
+		Workers:     cfg.workers,
+		RateLimit:   cfg.rate,
+		DurationSec: res.Elapsed.Seconds(),
+		Ops:         res.Ops,
+		Errors:      res.Errors,
+		Shed:        res.Shed,
+		Throughput:  res.Throughput(),
+		Latency:     summarize(res.Hist),
+		Counters:    after.delta(before),
+	}
+	if total > 0 {
+		sr.ShedRate = float64(res.Shed) / float64(total)
+	}
+	return sr, nil
+}
+
+// runCompare loads the two artifacts and applies the regression gate.
+func runCompare(baselinePath, currentPath string, maxRegress float64) int {
+	baseline, err := readArtifact(baselinePath)
+	if err != nil {
+		log.Printf("baseline: %v", err)
+		return 2
+	}
+	current, err := readArtifact(currentPath)
+	if err != nil {
+		log.Printf("current: %v", err)
+		return 2
+	}
+	regressions, notes := compareArtifacts(baseline, current, maxRegress)
+	for _, n := range notes {
+		log.Printf("note: %s", n)
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			log.Printf("REGRESSION: %s", r)
+		}
+		log.Printf("%d scenario(s) regressed more than %.0f%%; rerun, or re-baseline intentionally (see README) ", len(regressions), maxRegress*100)
+		return 1
+	}
+	log.Printf("no regression beyond %.0f%% across %d baseline scenario(s)", maxRegress*100, len(baseline.Scenarios))
+	return 0
+}
+
+func printTable(a *Artifact) {
+	tbl := benchutil.NewTable("mode", "engine", "scenario", "ops/s", "p50", "p90", "p99", "p99.9", "err", "shed", "fsyncs")
+	us := func(v float64) string { return benchutil.Dur(time.Duration(v * 1e3)) }
+	for _, s := range a.Scenarios {
+		tbl.AddRow(s.Mode, s.Engine, s.Scenario,
+			fmt.Sprintf("%.0f", s.Throughput),
+			us(s.Latency.P50), us(s.Latency.P90), us(s.Latency.P99), us(s.Latency.P999),
+			fmt.Sprintf("%d", s.Errors), fmt.Sprintf("%d", s.Shed),
+			fmt.Sprintf("%d", s.Counters.WALFsyncs))
+	}
+	tbl.Fprint(os.Stdout)
+}
+
+// --- flag parsing ---
+
+func orDefault(v, def string) string {
+	if v != "" {
+		return v
+	}
+	return def
+}
+
+func parseModes(s string) ([]string, error) {
+	switch s {
+	case "embedded", "http":
+		return []string{s}, nil
+	case "both":
+		return []string{"embedded", "http"}, nil
+	}
+	return nil, fmt.Errorf("unknown -mode %q (have embedded, http, both)", s)
+}
+
+var allEngines = []reachac.EngineKind{
+	reachac.Online, reachac.OnlineDFS, reachac.OnlineAdaptive,
+	reachac.Closure, reachac.Index, reachac.IndexPaperJoin,
+}
+
+func parseEngines(s string) ([]reachac.EngineKind, error) {
+	if s == "all" {
+		return allEngines, nil
+	}
+	var kinds []reachac.EngineKind
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		kind, err := engineByName(name)
+		if err != nil {
+			return nil, err
+		}
+		kinds = append(kinds, kind)
+	}
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("-engines is empty")
+	}
+	return kinds, nil
+}
+
+// engineByName accepts both the canonical EngineKind names and acquery's
+// shorthands.
+func engineByName(s string) (reachac.EngineKind, error) {
+	for _, k := range allEngines {
+		if s == k.String() {
+			return k, nil
+		}
+	}
+	switch s {
+	case "online":
+		return reachac.Online, nil
+	case "index":
+		return reachac.Index, nil
+	case "index-paper":
+		return reachac.IndexPaperJoin, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q (have online, online-dfs, online-adaptive, closure, index, index-paper)", s)
+}
+
+func parseScenarios(s string, batch int) ([]workload.Mix, error) {
+	var mixes []workload.Mix
+	if s == "all" {
+		mixes = workload.Mixes()
+	} else {
+		for _, name := range strings.Split(s, ",") {
+			m, ok := workload.MixByName(strings.TrimSpace(name))
+			if !ok {
+				var names []string
+				for _, k := range workload.Mixes() {
+					names = append(names, k.Name)
+				}
+				return nil, fmt.Errorf("unknown scenario %q (have %s)", name, strings.Join(names, ", "))
+			}
+			mixes = append(mixes, m)
+		}
+	}
+	for i := range mixes {
+		if mixes[i].BatchSize > 0 && batch > 0 {
+			mixes[i].BatchSize = batch
+		}
+	}
+	if len(mixes) == 0 {
+		return nil, fmt.Errorf("-scenarios is empty")
+	}
+	return mixes, nil
+}
+
+func parseSync(s string) (reachac.Option, error) {
+	switch s {
+	case "always":
+		return reachac.WithSync(reachac.SyncAlways), nil
+	case "interval":
+		return reachac.WithSyncInterval(2 * time.Millisecond), nil
+	case "never":
+		return reachac.WithSync(reachac.SyncNever), nil
+	}
+	return nil, fmt.Errorf("unknown -sync %q (have always, interval, never)", s)
+}

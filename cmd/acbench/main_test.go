@@ -1,0 +1,242 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"reachac"
+	"reachac/internal/generate"
+	"reachac/internal/workload"
+)
+
+func art(calibration float64, cells ...ScenarioResult) *Artifact {
+	a := newArtifact(1, calibration)
+	a.Scenarios = cells
+	return a
+}
+
+func cell(mode, engine, scenario string, tput float64) ScenarioResult {
+	return ScenarioResult{Mode: mode, Engine: engine, Scenario: scenario, Throughput: tput, Ops: 100_000}
+}
+
+// TestCompareFailsOnRegression is the gate's core contract: a >25%
+// throughput drop on any scenario must be flagged; a smaller one must
+// not.
+func TestCompareFailsOnRegression(t *testing.T) {
+	baseline := art(100,
+		cell("embedded", "online-bfs", "read-heavy", 10000),
+		cell("embedded", "online-bfs", "churn", 8000),
+	)
+	ok := art(100,
+		cell("embedded", "online-bfs", "read-heavy", 8000), // -20%: allowed
+		cell("embedded", "online-bfs", "churn", 8100),
+	)
+	if regs, _ := compareArtifacts(baseline, ok, 0.25); len(regs) != 0 {
+		t.Fatalf("-20%% flagged as regression: %v", regs)
+	}
+	bad := art(100,
+		cell("embedded", "online-bfs", "read-heavy", 7000), // -30%: flagged
+		cell("embedded", "online-bfs", "churn", 8100),
+	)
+	regs, _ := compareArtifacts(baseline, bad, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "read-heavy") {
+		t.Fatalf("want exactly the read-heavy regression, got %v", regs)
+	}
+}
+
+// TestCompareCalibrationNormalizes: the same relative performance on a
+// half-speed machine is not a regression, and a drop that calibration
+// cannot explain still is.
+func TestCompareCalibrationNormalizes(t *testing.T) {
+	baseline := art(200, cell("embedded", "online-bfs", "read-heavy", 10000))
+	slowMachine := art(100, cell("embedded", "online-bfs", "read-heavy", 5200))
+	if regs, _ := compareArtifacts(baseline, slowMachine, 0.25); len(regs) != 0 {
+		t.Fatalf("half-speed machine at half throughput flagged: %v", regs)
+	}
+	slowCode := art(200, cell("embedded", "online-bfs", "read-heavy", 5200))
+	if regs, _ := compareArtifacts(baseline, slowCode, 0.25); len(regs) != 1 {
+		t.Fatalf("true regression missed under equal calibration: %v", regs)
+	}
+}
+
+func TestCompareMissingCellIsNoteNotFailure(t *testing.T) {
+	baseline := art(100, cell("http", "join-index", "churn", 5000))
+	current := art(100, cell("embedded", "online-bfs", "read-heavy", 9000))
+	regs, notes := compareArtifacts(baseline, current, 0.25)
+	if len(regs) != 0 {
+		t.Fatalf("missing cell must not fail the gate: %v", regs)
+	}
+	found := false
+	for _, n := range notes {
+		if strings.Contains(n, "not in current run") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing cell not noted: %v", notes)
+	}
+}
+
+// TestCompareSkipsThinCells: a baseline cell with too few completed ops
+// is statistical noise; it must be noted, never gated.
+func TestCompareSkipsThinCells(t *testing.T) {
+	thin := cell("embedded", "join-index", "audience-scan", 250)
+	thin.Ops = 400
+	baseline := art(100, thin)
+	current := art(100, cell("embedded", "join-index", "audience-scan", 50)) // -80%
+	regs, notes := compareArtifacts(baseline, current, 0.25)
+	if len(regs) != 0 {
+		t.Fatalf("thin cell gated: %v", regs)
+	}
+	found := false
+	for _, n := range notes {
+		if strings.Contains(n, "too few to gate") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("thin cell skip not noted: %v", notes)
+	}
+}
+
+func TestArtifactRoundTripAndMerge(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.json")
+	a := art(50, cell("embedded", "online-bfs", "read-heavy", 1000))
+	if err := a.write(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := readArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Scenarios) != 1 || back.Scenarios[0].Throughput != 1000 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	back.merge(art(60,
+		cell("embedded", "online-bfs", "read-heavy", 2000), // replaces
+		cell("http", "online-bfs", "read-heavy", 500),      // appends
+	))
+	if len(back.Scenarios) != 2 {
+		t.Fatalf("merge produced %d cells, want 2", len(back.Scenarios))
+	}
+	for _, s := range back.Scenarios {
+		if s.Mode == "embedded" && s.Throughput != 2000 {
+			t.Fatalf("same-key cell not replaced: %+v", s)
+		}
+	}
+}
+
+func TestReadArtifactRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	a := art(1)
+	a.Schema = "acbench/v0"
+	if err := a.write(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readArtifact(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+// TestRunScenarioEmbeddedSmoke runs one real (tiny) embedded scenario per
+// mix and sanity-checks the resulting cell, covering the end-to-end path
+// CI's bench job exercises.
+func TestRunScenarioEmbeddedSmoke(t *testing.T) {
+	g := generate.OSN(generate.OSNConfig{Nodes: 150, Seed: 3})
+	specs := workload.Resources(g, 8, 4)
+	cfg := benchConfig{
+		nodes: 150, degree: 8, resources: 8, workers: 2,
+		duration: 150 * time.Millisecond, warmup: 30 * time.Millisecond, seed: 5,
+	}
+	for _, mix := range workload.Mixes() {
+		res, err := runScenario("embedded", g, reachac.Index, mix, specs, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", mix.Name, err)
+		}
+		if res.Ops == 0 {
+			t.Fatalf("%s: no operations completed", mix.Name)
+		}
+		if res.Errors > 0 {
+			t.Fatalf("%s: %d operation errors against embedded target", mix.Name, res.Errors)
+		}
+		if res.Throughput <= 0 || res.Latency.P99 < res.Latency.P50 {
+			t.Fatalf("%s: implausible result %+v", mix.Name, res)
+		}
+		switch mix.Name {
+		case "check-batch":
+			if res.Counters.BatchChecks == 0 {
+				t.Fatalf("check-batch recorded no batch checks: %+v", res.Counters)
+			}
+		case "audience-scan":
+			if res.Counters.Audiences == 0 {
+				t.Fatalf("audience-scan recorded no audiences: %+v", res.Counters)
+			}
+		case "write-heavy", "churn":
+			if res.Counters.Mutations == 0 {
+				t.Fatalf("%s recorded no mutations: %+v", mix.Name, res.Counters)
+			}
+		}
+	}
+}
+
+// TestRunScenarioHTTPSmoke runs one tiny scenario against a self-hosted
+// serving stack — real HTTP, durable WAL — and checks the serving-layer
+// counters landed.
+func TestRunScenarioHTTPSmoke(t *testing.T) {
+	g := generate.OSN(generate.OSNConfig{Nodes: 120, Seed: 3})
+	specs := workload.Resources(g, 6, 4)
+	cfg := benchConfig{
+		nodes: 120, degree: 8, resources: 6, workers: 2,
+		duration: 200 * time.Millisecond, warmup: 30 * time.Millisecond, seed: 5,
+		syncOpt: reachac.WithSync(reachac.SyncNever),
+	}
+	res, err := runScenario("http", g, reachac.Online, mustMixT(t, "write-heavy"), specs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 || res.Errors > 0 {
+		t.Fatalf("ops=%d errors=%d", res.Ops, res.Errors)
+	}
+	if res.Counters.Mutations == 0 || res.Counters.WALAppends == 0 {
+		t.Fatalf("durable serving run recorded no WAL activity: %+v", res.Counters)
+	}
+}
+
+func mustMixT(t *testing.T, name string) workload.Mix {
+	t.Helper()
+	m, ok := workload.MixByName(name)
+	if !ok {
+		t.Fatalf("missing mix %q", name)
+	}
+	return m
+}
+
+func TestParseHelpers(t *testing.T) {
+	if _, err := parseModes("bogus"); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+	if ms, _ := parseModes("both"); len(ms) != 2 {
+		t.Fatalf("both = %v", ms)
+	}
+	if ks, err := parseEngines("all"); err != nil || len(ks) != 6 {
+		t.Fatalf("all engines = %v, %v", ks, err)
+	}
+	if _, err := parseEngines("warp-drive"); err == nil {
+		t.Fatal("bad engine accepted")
+	}
+	if mixes, err := parseScenarios("all", 8); err != nil || len(mixes) != 5 {
+		t.Fatalf("all scenarios = %v, %v", mixes, err)
+	}
+	if mixes, err := parseScenarios("check-batch", 8); err != nil || mixes[0].BatchSize != 8 {
+		t.Fatalf("batch override failed: %v, %v", mixes, err)
+	}
+	if _, err := parseScenarios("nope", 8); err == nil {
+		t.Fatal("bad scenario accepted")
+	}
+	if _, err := parseSync("sometimes"); err == nil {
+		t.Fatal("bad sync accepted")
+	}
+}

@@ -10,6 +10,11 @@
 //	          [-checkpoint-every 4194304] [-max-checks 64] [-max-queue 1024]
 //	          [-coalesce 128] [-coalesce-wait 0]
 //
+// The bound address is announced on stdout as "ACSERVERD_LISTEN=<addr>"
+// before serving starts, so -addr 127.0.0.1:0 (a kernel-assigned free
+// port) is scriptable: start the daemon, scrape the line, point clients
+// at it.
+//
 // Concurrent mutations are coalesced into shared write-ahead-log commit
 // groups (one fsync covers many writers); reads are served lock-free off the
 // published engine snapshot behind an admission limiter that sheds overload
@@ -25,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -88,7 +94,6 @@ func main() {
 		CoalesceWait:        *coalesceWait,
 	})
 	httpSrv := &http.Server{
-		Addr:    *addr,
 		Handler: srv,
 		// Slow-client bounds: a trickled request must not hold a connection
 		// (or, via the handlers, an admission slot) indefinitely.
@@ -97,11 +102,22 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 
+	// Listen explicitly (rather than ListenAndServe) so -addr :0 works:
+	// the kernel-assigned port is announced on stdout in a stable,
+	// parseable form before any request is served. CI and scripts start
+	// the daemon on port 0 and scrape the line instead of racing for a
+	// fixed port.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ACSERVERD_LISTEN=%s\n", ln.Addr())
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("serving %s engine on %s", kind, *addr)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	log.Printf("serving %s engine on %s", kind, ln.Addr())
 
 	select {
 	case err := <-errCh:

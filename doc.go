@@ -38,5 +38,11 @@
 // final record is dropped, not fatal. See the "Durability and recovery"
 // section of ARCHITECTURE.md.
 //
+// The serving stack (cmd/acserverd + the client package) exposes the same
+// surface over HTTP; cmd/acbench load-tests both — embedded facade and
+// daemon — with named mixed-operation scenarios and writes the
+// machine-readable perf artifact CI gates regressions on. Stats returns
+// the operation counters both tools sample; Stats.Delta bounds a window.
+//
 // See the examples/ directory for complete programs.
 package reachac

@@ -14,8 +14,14 @@ import (
 	"reachac/internal/graph"
 )
 
+// UserName formats the i-th generated member's handle ("u000042") — the
+// naming every generator in this package assigns in node-ID order, which
+// drivers that address a server by name (cmd/acbench's HTTP mode) rely on
+// to map node IDs back to members.
+func UserName(i int) string { return fmt.Sprintf("u%06d", i) }
+
 // userName formats the i-th member's handle.
-func userName(i int) string { return fmt.Sprintf("u%06d", i) }
+func userName(i int) string { return UserName(i) }
 
 // addNodes inserts n members with no attributes.
 func addNodes(g *graph.Graph, n int) {

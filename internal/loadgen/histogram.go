@@ -1,0 +1,153 @@
+// Package loadgen drives operation generators against a target system —
+// the embedded reachac facade or a running acserverd — with a worker pool
+// in either closed-loop (each worker issues the next operation as soon as
+// the previous completes) or open-loop mode (operations are paced at a
+// target arrival rate regardless of completion, the way independent users
+// arrive at a service). Latencies are recorded into a log-bucketed
+// histogram; warmup operations are excluded; errors and shed requests are
+// counted separately so overload shows up as shed rate, not as latency.
+package loadgen
+
+import (
+	"math/bits"
+	"time"
+)
+
+// subBits sets the histogram's resolution: every power-of-two range is
+// split into 2^subBits linear sub-buckets, bounding the relative
+// quantization error of any recorded value by 2^-subBits (~3% at 5 bits) —
+// the same scheme HDR histograms use, without the configurable precision.
+const (
+	subBits    = 5
+	subBuckets = 1 << subBits
+	numBuckets = (64 - subBits + 1) * subBuckets
+)
+
+// Histogram records durations (as nanoseconds) into logarithmic buckets
+// with linear sub-buckets, supporting quantile queries with bounded
+// relative error over the full int64 range in fixed memory. The zero value
+// is ready to use. A Histogram is NOT safe for concurrent use: give each
+// worker its own and Merge them afterwards.
+type Histogram struct {
+	counts [numBuckets]uint64
+	count  uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// bucketIndex maps a non-negative value to its bucket. Values below
+// subBuckets get exact unit buckets; above, the top subBits bits after the
+// leading one select the sub-bucket within the value's power-of-two range.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < subBuckets {
+		return int(u)
+	}
+	msb := bits.Len64(u) - 1
+	sub := (u >> uint(msb-subBits)) - subBuckets
+	return ((msb - subBits + 1) << subBits) + int(sub)
+}
+
+// bucketUpper returns the largest value the bucket holds; quantiles report
+// it so they never understate the recorded latency.
+func bucketUpper(idx int) int64 {
+	if idx < subBuckets {
+		return int64(idx)
+	}
+	major := idx >> subBits
+	msb := major + subBits - 1
+	lo := uint64(1)<<uint(msb) + uint64(idx&(subBuckets-1))<<uint(msb-subBits)
+	return int64(lo + 1<<uint(msb-subBits) - 1)
+}
+
+// Record adds one observation. Negative durations count as zero.
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Min returns the smallest recorded duration (0 when empty).
+func (h *Histogram) Min() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.min)
+}
+
+// Max returns the largest recorded duration (0 when empty).
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Mean returns the average recorded duration (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / int64(h.count))
+}
+
+// Quantile returns the duration at or below which a fraction q of the
+// observations fall, reported as the containing bucket's upper bound
+// (clamped to the exact recorded maximum). q outside [0,1] is clamped.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum > rank {
+			v := bucketUpper(i)
+			if v > h.max {
+				v = h.max
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Merge folds o's observations into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+}

@@ -1,0 +1,107 @@
+package loadgen
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestHistogramQuantileOracle checks quantiles against a sorted-slice
+// oracle: the reported value must be >= the exact order statistic (upper
+// bucket bounds never understate) and within the scheme's 2^-subBits
+// relative error of it.
+func TestHistogramQuantileOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, scale := range []int64{100, 50_000, 10_000_000, 3_000_000_000} {
+		var h Histogram
+		vals := make([]int64, 0, 20_000)
+		for i := 0; i < 20_000; i++ {
+			// Mix uniform and heavy-tailed draws so many buckets fill.
+			v := rng.Int63n(scale)
+			if rng.Intn(10) == 0 {
+				v *= 1 + rng.Int63n(50)
+			}
+			vals = append(vals, v)
+			h.Record(time.Duration(v))
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+			rank := int(q * float64(len(vals)))
+			if rank >= len(vals) {
+				rank = len(vals) - 1
+			}
+			exact := vals[rank]
+			got := int64(h.Quantile(q))
+			if got < exact {
+				t.Fatalf("scale %d q=%v: histogram %d understates oracle %d", scale, q, got, exact)
+			}
+			// The bucket upper bound is at most one quantization step above
+			// any value it holds.
+			limit := exact + exact>>subBits + 1
+			if got > limit {
+				t.Fatalf("scale %d q=%v: histogram %d exceeds oracle %d beyond quantization bound %d",
+					scale, q, got, exact, limit)
+			}
+		}
+	}
+}
+
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	// Every value must land in a bucket whose bounds contain it, and
+	// bucket indexes must be monotone in the value.
+	prev := -1
+	for _, v := range []int64{0, 1, 31, 32, 33, 63, 64, 65, 1023, 1024, 1 << 20, 1<<40 + 12345, 1<<62 + 999} {
+		idx := bucketIndex(v)
+		if up := bucketUpper(idx); up < v {
+			t.Fatalf("value %d: bucket %d upper bound %d below value", v, idx, up)
+		}
+		if idx < prev {
+			t.Fatalf("value %d: bucket index %d not monotone (prev %d)", v, idx, prev)
+		}
+		prev = idx
+	}
+	if got := bucketIndex(-5); got != 0 {
+		t.Fatalf("negative value bucket = %d, want 0", got)
+	}
+	if got := bucketIndex(1<<63 - 1); got >= numBuckets {
+		t.Fatalf("max value bucket %d out of range %d", got, numBuckets)
+	}
+}
+
+func TestHistogramMergeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var whole Histogram
+	parts := make([]Histogram, 4)
+	for i := 0; i < 10_000; i++ {
+		v := time.Duration(rng.Int63n(1_000_000))
+		whole.Record(v)
+		parts[i%len(parts)].Record(v)
+	}
+	var merged Histogram
+	for i := range parts {
+		merged.Merge(&parts[i])
+	}
+	if merged.Count() != whole.Count() || merged.Min() != whole.Min() ||
+		merged.Max() != whole.Max() || merged.Mean() != whole.Mean() {
+		t.Fatalf("merge mismatch: %d/%v/%v/%v vs %d/%v/%v/%v",
+			merged.Count(), merged.Min(), merged.Max(), merged.Mean(),
+			whole.Count(), whole.Min(), whole.Max(), whole.Mean())
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if merged.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("q=%v: merged %v != whole %v", q, merged.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	h.Merge(&Histogram{})
+	if h.Count() != 0 {
+		t.Fatal("merging empty histograms should stay empty")
+	}
+}

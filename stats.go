@@ -54,6 +54,27 @@ type Stats struct {
 	AuditRetained int `json:"audit_retained"`
 }
 
+// Delta returns the counter-by-counter difference s - prev, for bounding
+// the activity of one measured window (acbench records Stats before and
+// after each scenario and reports the difference). The size fields
+// (Users, Relationships, Resources, AuditRetained) and identity fields
+// (Engine, Durable, WALSegmentBytes, WALSegmentSeq) carry s's values
+// unchanged — they are gauges, not monotonic counters.
+func (s Stats) Delta(prev Stats) Stats {
+	d := s
+	d.Checks -= prev.Checks
+	d.BatchChecks -= prev.BatchChecks
+	d.Audiences -= prev.Audiences
+	d.Mutations -= prev.Mutations
+	d.Batches -= prev.Batches
+	d.Republications -= prev.Republications
+	d.Checkpoints -= prev.Checkpoints
+	d.CheckpointsSkipped -= prev.CheckpointsSkipped
+	d.WALAppends -= prev.WALAppends
+	d.WALFsyncs -= prev.WALFsyncs
+	return d
+}
+
 // counters holds the network's atomically-updated operation tallies; see
 // Stats for field meanings.
 type counters struct {
