@@ -590,3 +590,73 @@ func BenchmarkScenarioMixes(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkCanAccessZeroAlloc measures the warmed flat-search hot path on a
+// bare engine: plan cache, CSR and pooled scratch all hot, so with -benchmem
+// this reports 0 B/op and 0 allocs/op (the guarantee alloc_test.go enforces
+// as a hard assertion).
+func BenchmarkCanAccessZeroAlloc(b *testing.B) {
+	g := benchGraph("social")
+	e := search.New(g)
+	g.CSR()
+	p, err := pathexpr.Parse("friend+[1,2]")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := workload.HitPairs(g, 64, 2, 7)
+	for i := 0; i < 8; i++ {
+		if _, err := e.Reachable(pairs[i].Owner, pairs[i].Requester, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr := pairs[i%len(pairs)]
+		if _, err := e.Reachable(pr.Owner, pr.Requester, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAudienceIncremental measures the audience read after a mutation,
+// which forces a snapshot republication per iteration: the incremental arm
+// advances the audience cache through the recorded deltas (the O(Δ) path),
+// the rebuild arm disables the delta log so every iteration recomputes
+// graph, evaluator and audiences from scratch. The gap between the arms is
+// what incremental audience maintenance buys on a churn workload.
+func BenchmarkAudienceIncremental(b *testing.B) {
+	for _, arm := range []string{"incremental", "rebuild"} {
+		b.Run(arm, func(b *testing.B) {
+			g := benchGraph("social")
+			n := FromGraph(g)
+			if arm == "rebuild" {
+				n.Graph().SetDeltaLogLimit(-1)
+			}
+			owner, _ := n.UserID("u000010")
+			if _, err := n.Share("r", owner, "friend+[1,2]"); err != nil {
+				b.Fatal(err)
+			}
+			peer, _ := n.UserID("u000011")
+			if _, err := n.Audience("r"); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				if i%2 == 0 {
+					err = n.Relate(owner, peer, "colleague")
+				} else {
+					err = n.Unrelate(owner, peer, "colleague")
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := n.Audience("r"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

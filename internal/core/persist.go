@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
 
 	"reachac/internal/graph"
 	"reachac/internal/pathexpr"
@@ -131,7 +130,7 @@ func (s *Store) Audience(res ResourceID, g *graph.Graph, eval Evaluator) ([]grap
 	}
 	rules := s.RulesFor(res)
 	if fast, ok := eval.(AudienceSetEvaluator); ok {
-		return audienceFast(owner, rules, fast)
+		return s.AudienceWith(res, audienceSourceFunc(fast.AudienceSet))
 	}
 	var out []graph.NodeID
 	var firstErr error
@@ -162,45 +161,101 @@ func (s *Store) Audience(res ResourceID, g *graph.Graph, eval Evaluator) ([]grap
 	return out, firstErr
 }
 
-// audienceFast computes ∪_rules ∩_conditions AudienceSet(condition),
-// excluding the owner, in node-ID order — one traversal per condition
-// instead of one query per member.
-func audienceFast(owner graph.NodeID, rules []*Rule, eval AudienceSetEvaluator) ([]graph.NodeID, error) {
-	union := make(map[graph.NodeID]bool)
-	for _, rule := range rules {
-		var inter map[graph.NodeID]bool
-		for _, cond := range rule.Conditions {
-			set, err := eval.AudienceSet(rule.Owner, cond.Path)
+// AudienceSource provides per-(owner, path) audience sets in ascending
+// node-ID order. Implementations may return cached slices: Store treats
+// them as immutable and never modifies them. search.AudienceCache is the
+// canonical implementation; search.Engine.AudienceSet also qualifies via
+// audienceSourceFunc.
+type AudienceSource interface {
+	Audience(owner graph.NodeID, p *pathexpr.Path) ([]graph.NodeID, error)
+}
+
+// audienceSourceFunc adapts a plain audience function to AudienceSource.
+type audienceSourceFunc func(graph.NodeID, *pathexpr.Path) ([]graph.NodeID, error)
+
+func (f audienceSourceFunc) Audience(o graph.NodeID, p *pathexpr.Path) ([]graph.NodeID, error) {
+	return f(o, p)
+}
+
+// AudienceWith assembles the audience of res from per-condition sets:
+// ∪_rules ∩_conditions src.Audience(rule.Owner, condition), excluding the
+// owner, in ascending node-ID order. Set algebra runs on sorted merges —
+// one source call per condition, no per-member queries and no hashing — and
+// the result is always freshly allocated, so src may serve shared cached
+// slices.
+func (s *Store) AudienceWith(res ResourceID, src AudienceSource) ([]graph.NodeID, error) {
+	owner, ok := s.Owner(res)
+	if !ok {
+		return nil, fmt.Errorf("core: resource %q not registered", res)
+	}
+	out := []graph.NodeID{}
+	for _, rule := range s.RulesFor(res) {
+		var inter []graph.NodeID
+		for ci, cond := range rule.Conditions {
+			set, err := src.Audience(rule.Owner, cond.Path)
 			if err != nil {
 				return nil, err
 			}
-			cur := make(map[graph.NodeID]bool, len(set))
-			for _, id := range set {
-				cur[id] = true
-			}
-			if inter == nil {
-				inter = cur
-				continue
-			}
-			for id := range inter {
-				if !cur[id] {
-					delete(inter, id)
-				}
+			if ci == 0 {
+				inter = set
+			} else {
+				inter = intersectSorted(inter, set)
 			}
 			if len(inter) == 0 {
 				break
 			}
 		}
-		for id := range inter {
-			if id != owner {
-				union[id] = true
-			}
+		out = unionSortedExcluding(out, inter, owner)
+	}
+	return out, nil
+}
+
+// intersectSorted returns the intersection of two ascending slices as a new
+// slice, leaving both inputs untouched.
+func intersectSorted(a, b []graph.NodeID) []graph.NodeID {
+	var out []graph.NodeID
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
 		}
 	}
-	out := make([]graph.NodeID, 0, len(union))
-	for id := range union {
-		out = append(out, id)
+	return out
+}
+
+// unionSortedExcluding merges two ascending slices into a fresh slice,
+// dropping excl (which may appear only in b), leaving both inputs untouched.
+func unionSortedExcluding(a, b []graph.NodeID, excl graph.NodeID) []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			if b[j] != excl {
+				out = append(out, b[j])
+			}
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out, nil
+	out = append(out, a[i:]...)
+	for ; j < len(b); j++ {
+		if b[j] != excl {
+			out = append(out, b[j])
+		}
+	}
+	return out
 }

@@ -1,0 +1,166 @@
+package graph
+
+import (
+	"sync/atomic"
+)
+
+// CSR is a compressed-sparse-row view of the graph's live adjacency,
+// label-partitioned: for every (node, label) pair the out- and in-neighbors
+// form one contiguous run of a dense []uint32 slab. It is the read-hot-path
+// memory layout — a BFS constrained to one relationship type touches exactly
+// the run it needs (no per-edge label filtering, no pointer chasing through
+// edge records), and per-node degrees are O(1) offset subtractions.
+//
+// A CSR is immutable once built and is valid for exactly one graph version;
+// it deliberately carries neighbor node IDs only (no edge IDs or weights),
+// which is all the reachability hot path needs. Witness reconstruction and
+// other edge-identity consumers keep using the edge-list iteration.
+type CSR struct {
+	version uint64
+	nodes   int
+	labels  int
+	// outOff/inOff have nodes*labels+1 entries: the run for (n, l) is
+	// nbr[off[n*labels+l] : off[n*labels+l+1]], and the runs of one node are
+	// adjacent, so a node's total degree is off[(n+1)*labels] - off[n*labels].
+	outOff []uint32
+	inOff  []uint32
+	// outNbr/inNbr hold neighbor node IDs in edge-insertion order within
+	// each run (matching OutEdges/InEdges order filtered to one label).
+	outNbr []uint32
+	inNbr  []uint32
+}
+
+// maxCSRCells bounds nodes*labels so that offset tables stay addressable
+// and a degenerate graph (millions of nodes × thousands of labels) cannot
+// demand a multi-gigabyte offset table. Beyond it BuildCSR returns nil and
+// callers fall back to edge-list iteration.
+const maxCSRCells = 1 << 30
+
+// Version returns the graph version the CSR was built at.
+func (c *CSR) Version() uint64 { return c.version }
+
+// NumNodes returns the node count the CSR was built over.
+func (c *CSR) NumNodes() int { return c.nodes }
+
+// OutNeighbors returns the out-neighbor run of (n, l). The slice aliases the
+// CSR slab and must not be modified.
+func (c *CSR) OutNeighbors(n NodeID, l Label) []uint32 {
+	i := int(n)*c.labels + int(l)
+	return c.outNbr[c.outOff[i]:c.outOff[i+1]]
+}
+
+// InNeighbors returns the in-neighbor run of (n, l); see OutNeighbors.
+func (c *CSR) InNeighbors(n NodeID, l Label) []uint32 {
+	i := int(n)*c.labels + int(l)
+	return c.inNbr[c.inOff[i]:c.inOff[i+1]]
+}
+
+// OutDegree returns the number of live outgoing edges of n in O(1).
+func (c *CSR) OutDegree(n NodeID) int {
+	return int(c.outOff[(int(n)+1)*c.labels] - c.outOff[int(n)*c.labels])
+}
+
+// InDegree returns the number of live incoming edges of n in O(1).
+func (c *CSR) InDegree(n NodeID) int {
+	return int(c.inOff[(int(n)+1)*c.labels] - c.inOff[int(n)*c.labels])
+}
+
+// BuildCSR constructs a fresh CSR over the graph's live edges and caches it
+// as the graph's current CSR. It returns nil when the graph has no labels
+// yet (no edges can exist either) or when nodes*labels exceeds maxCSRCells.
+// Like every bulk accessor it requires external synchronization with
+// mutators; concurrent readers may race to build — both produce identical
+// views and the cache keeps one.
+func (g *Graph) BuildCSR() *CSR {
+	v, l := len(g.nodes), g.labels.len()
+	if l == 0 || v == 0 || v*l > maxCSRCells {
+		return nil
+	}
+	c := &CSR{
+		version: g.version.Load(),
+		nodes:   v,
+		labels:  l,
+		outOff:  make([]uint32, v*l+1),
+		inOff:   make([]uint32, v*l+1),
+		outNbr:  make([]uint32, g.live),
+		inNbr:   make([]uint32, g.live),
+	}
+	// Count pass: run lengths into off[i+1], then prefix-sum to offsets.
+	for i := range g.edges {
+		e := &g.edges[i]
+		if e.deleted {
+			continue
+		}
+		c.outOff[int(e.From)*l+int(e.Label)+1]++
+		c.inOff[int(e.To)*l+int(e.Label)+1]++
+	}
+	for i := 1; i < len(c.outOff); i++ {
+		c.outOff[i] += c.outOff[i-1]
+		c.inOff[i] += c.inOff[i-1]
+	}
+	// Fill pass in edge-ID order, preserving insertion order within runs.
+	// next cursors reuse the off tables shifted by one (off[i] is the next
+	// write position of run i during the fill), restoring them as we go.
+	outNext := make([]uint32, v*l)
+	inNext := make([]uint32, v*l)
+	copy(outNext, c.outOff[:v*l])
+	copy(inNext, c.inOff[:v*l])
+	for i := range g.edges {
+		e := &g.edges[i]
+		if e.deleted {
+			continue
+		}
+		oi := int(e.From)*l + int(e.Label)
+		c.outNbr[outNext[oi]] = uint32(e.To)
+		outNext[oi]++
+		ii := int(e.To)*l + int(e.Label)
+		c.inNbr[inNext[ii]] = uint32(e.From)
+		inNext[ii]++
+	}
+	g.csr.Store(c)
+	g.csrDebt.Store(0)
+	return c
+}
+
+// CSR returns the cached CSR for the graph's current version, building one
+// if the cache is stale or empty. It returns nil for label-free graphs and
+// pathological node×label products (see BuildCSR).
+func (g *Graph) CSR() *CSR {
+	if c := g.csr.Load(); c != nil && c.version == g.version.Load() {
+		return c
+	}
+	return g.BuildCSR()
+}
+
+// FreshCSR returns the cached CSR if it matches the graph's current version
+// and nil otherwise — it never pays a build. Hot paths use it together with
+// AddCSRDebt so that rebuild cost is amortized against traversal work
+// actually spent on the stale version.
+func (g *Graph) FreshCSR() *CSR {
+	if c := g.csr.Load(); c != nil && c.version == g.version.Load() {
+		return c
+	}
+	return nil
+}
+
+// AddCSRDebt records traversal work (edges scanned) performed without a
+// fresh CSR and rebuilds the CSR once the accumulated debt since the last
+// build exceeds the build cost (O(V+E)). Mutation-heavy phases therefore
+// never thrash rebuilding per version, while read-heavy phases converge to
+// the CSR after about one graph's worth of slow-path scanning.
+func (g *Graph) AddCSRDebt(work int) {
+	if work <= 0 {
+		return
+	}
+	if g.csrDebt.Add(int64(work)) > int64(len(g.nodes)+g.live) {
+		g.BuildCSR()
+	}
+}
+
+// csrState is embedded in Graph: the cached CSR and the slow-path work
+// accumulated since it went stale. Both are atomics so that lock-free
+// snapshot readers may consult and (race-benignly) rebuild the cache.
+type csrState struct {
+	csr     atomic.Pointer[CSR]
+	csrDebt atomic.Int64
+}

@@ -1,0 +1,214 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// legacyOutNeighbors collects n's live out-neighbors with label l via the
+// edge-list iteration the CSR replaces, in insertion order.
+func legacyOutNeighbors(g *Graph, n NodeID, l Label) []uint32 {
+	var out []uint32
+	g.OutEdges(n, func(e Edge) bool {
+		if e.Label == l {
+			out = append(out, uint32(e.To))
+		}
+		return true
+	})
+	return out
+}
+
+func legacyInNeighbors(g *Graph, n NodeID, l Label) []uint32 {
+	var out []uint32
+	g.InEdges(n, func(e Edge) bool {
+		if e.Label == l {
+			out = append(out, uint32(e.From))
+		}
+		return true
+	})
+	return out
+}
+
+// checkCSRAgainstLegacy asserts the CSR view matches the edge-list view for
+// every (node, label) pair: same runs in the same order, same degrees.
+func checkCSRAgainstLegacy(t *testing.T, g *Graph) {
+	t.Helper()
+	c := g.CSR()
+	if g.NumLabels() == 0 || g.NumNodes() == 0 {
+		if c != nil {
+			t.Fatalf("CSR() = non-nil for empty graph")
+		}
+		return
+	}
+	if c == nil {
+		t.Fatalf("CSR() = nil for %d nodes, %d labels", g.NumNodes(), g.NumLabels())
+	}
+	if c.Version() != g.Version() {
+		t.Fatalf("CSR version %d, graph version %d", c.Version(), g.Version())
+	}
+	for n := 0; n < g.NumNodes(); n++ {
+		id := NodeID(n)
+		outDeg, inDeg := 0, 0
+		for l := 0; l < g.NumLabels(); l++ {
+			lbl := Label(l)
+			got, want := c.OutNeighbors(id, lbl), legacyOutNeighbors(g, id, lbl)
+			if len(got) != len(want) {
+				t.Fatalf("node %d label %d: out run %v, want %v", n, l, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("node %d label %d: out run %v, want %v", n, l, got, want)
+				}
+			}
+			outDeg += len(got)
+			got, want = c.InNeighbors(id, lbl), legacyInNeighbors(g, id, lbl)
+			if len(got) != len(want) {
+				t.Fatalf("node %d label %d: in run %v, want %v", n, l, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("node %d label %d: in run %v, want %v", n, l, got, want)
+				}
+			}
+			inDeg += len(got)
+		}
+		if d := c.OutDegree(id); d != outDeg {
+			t.Fatalf("node %d: CSR OutDegree %d, want %d", n, d, outDeg)
+		}
+		if d := c.InDegree(id); d != inDeg {
+			t.Fatalf("node %d: CSR InDegree %d, want %d", n, d, inDeg)
+		}
+	}
+}
+
+func TestCSRMatchesEdgeLists(t *testing.T) {
+	g := New()
+	a := g.MustAddNode("a", nil)
+	b := g.MustAddNode("b", nil)
+	c := g.MustAddNode("c", nil)
+	d := g.MustAddNode("d", nil)
+	g.MustAddEdge(a, b, "friend")
+	g.MustAddEdge(a, c, "friend")
+	g.MustAddEdge(a, b, "colleague")
+	g.MustAddEdge(b, c, "friend")
+	g.MustAddEdge(c, a, "parent")
+	g.MustAddEdge(d, a, "friend")
+	checkCSRAgainstLegacy(t, g)
+
+	// Removal tombstones an edge; the next CSR must skip it.
+	id := g.FindEdge(a, c, g.Label("friend"))
+	if err := g.RemoveEdge(id); err != nil {
+		t.Fatal(err)
+	}
+	checkCSRAgainstLegacy(t, g)
+
+	// Compaction renumbers edges but not adjacency.
+	g.CompactTombstones()
+	checkCSRAgainstLegacy(t, g)
+}
+
+func TestCSREmptyAndLabelFree(t *testing.T) {
+	g := New()
+	if g.CSR() != nil {
+		t.Fatal("CSR() over empty graph should be nil")
+	}
+	g.MustAddNode("a", nil)
+	if g.CSR() != nil {
+		t.Fatal("CSR() over label-free graph should be nil")
+	}
+	if d := g.OutDegree(0); d != 0 {
+		t.Fatalf("OutDegree = %d, want 0", d)
+	}
+}
+
+func TestCSRCachingAndStaleness(t *testing.T) {
+	g := New()
+	a := g.MustAddNode("a", nil)
+	b := g.MustAddNode("b", nil)
+	g.MustAddEdge(a, b, "friend")
+	c1 := g.CSR()
+	if c2 := g.CSR(); c2 != c1 {
+		t.Fatal("second CSR() call should return the cached view")
+	}
+	if got := g.FreshCSR(); got != c1 {
+		t.Fatal("FreshCSR should return the cached view while fresh")
+	}
+	g.MustAddEdge(b, a, "friend")
+	if got := g.FreshCSR(); got != nil {
+		t.Fatal("FreshCSR should be nil after a mutation")
+	}
+	// Debt below the build budget must not rebuild; crossing it must.
+	g.AddCSRDebt(1)
+	if g.FreshCSR() != nil {
+		t.Fatal("small debt should not trigger a rebuild")
+	}
+	g.AddCSRDebt(g.NumNodes() + g.NumEdges() + 1)
+	c3 := g.FreshCSR()
+	if c3 == nil || c3.Version() != g.Version() {
+		t.Fatal("accumulated debt should have rebuilt the CSR")
+	}
+	checkCSRAgainstLegacy(t, g)
+}
+
+func TestDegreesO1ViaCSR(t *testing.T) {
+	g := New()
+	rng := rand.New(rand.NewSource(7))
+	const nodes = 40
+	for i := 0; i < nodes; i++ {
+		g.MustAddNode(string(rune('A'+i%26))+string(rune('0'+i/26)), nil)
+	}
+	labels := []string{"friend", "colleague", "parent"}
+	for i := 0; i < 300; i++ {
+		from := NodeID(rng.Intn(nodes))
+		to := NodeID(rng.Intn(nodes))
+		if from == to {
+			continue
+		}
+		_, _ = g.AddEdge(from, to, labels[rng.Intn(len(labels))])
+	}
+	// Degrees without a fresh CSR (scan) and with one (offsets) must agree.
+	type deg struct{ out, in int }
+	want := make([]deg, nodes)
+	for i := range want {
+		want[i] = deg{g.OutDegree(NodeID(i)), g.InDegree(NodeID(i))}
+	}
+	if g.CSR() == nil {
+		t.Fatal("CSR build failed")
+	}
+	for i := range want {
+		if got := (deg{g.OutDegree(NodeID(i)), g.InDegree(NodeID(i))}); got != want[i] {
+			t.Fatalf("node %d: CSR degrees %v, want %v", i, got, want[i])
+		}
+	}
+	st := g.Stats()
+	maxOut, maxIn := 0, 0
+	for _, d := range want {
+		if d.out > maxOut {
+			maxOut = d.out
+		}
+		if d.in > maxIn {
+			maxIn = d.in
+		}
+	}
+	if st.MaxOutDegree != maxOut || st.MaxInDegree != maxIn {
+		t.Fatalf("Stats degrees (%d,%d), want (%d,%d)", st.MaxOutDegree, st.MaxInDegree, maxOut, maxIn)
+	}
+}
+
+// TestCSRVersionAndNodes covers the CSR's identity accessors.
+func TestCSRVersionAndNodes(t *testing.T) {
+	g := New()
+	a := g.MustAddNode("a", nil)
+	b := g.MustAddNode("b", nil)
+	g.MustAddEdge(a, b, "friend")
+	c := g.CSR()
+	if c == nil {
+		t.Fatal("CSR build failed")
+	}
+	if c.Version() != g.Version() {
+		t.Fatalf("CSR version %d, graph version %d", c.Version(), g.Version())
+	}
+	if c.NumNodes() != 2 {
+		t.Fatalf("CSR NumNodes %d, want 2", c.NumNodes())
+	}
+}

@@ -72,6 +72,9 @@ type Graph struct {
 	// deltaLimit bounds the retained window (0 means
 	// DefaultDeltaLogLimit; negative disables logging).
 	deltaLimit int
+	// csrState caches the compressed-sparse-row adjacency view serving the
+	// read hot path; see csr.go.
+	csrState
 }
 
 // New returns an empty social network graph.
@@ -276,15 +279,23 @@ func (g *Graph) InEdges(n NodeID, fn func(Edge) bool) {
 	}
 }
 
-// OutDegree returns the number of live outgoing edges of n.
+// OutDegree returns the number of live outgoing edges of n: an O(1) offset
+// subtraction when the cached CSR is fresh, an O(degree) edge-list scan
+// otherwise (no build is forced, so mutation-heavy callers never thrash).
 func (g *Graph) OutDegree(n NodeID) int {
+	if c := g.FreshCSR(); c != nil {
+		return c.OutDegree(n)
+	}
 	d := 0
 	g.OutEdges(n, func(Edge) bool { d++; return true })
 	return d
 }
 
-// InDegree returns the number of live incoming edges of n.
+// InDegree returns the number of live incoming edges of n; see OutDegree.
 func (g *Graph) InDegree(n NodeID) int {
+	if c := g.FreshCSR(); c != nil {
+		return c.InDegree(n)
+	}
 	d := 0
 	g.InEdges(n, func(Edge) bool { d++; return true })
 	return d
@@ -357,9 +368,21 @@ type Stats struct {
 	MaxInDegree          int
 }
 
-// Stats computes summary statistics.
+// Stats computes summary statistics. It builds (and caches) the CSR view
+// once, so the degree sweep is O(V) offset reads instead of O(V+E) scans.
 func (g *Graph) Stats() Stats {
 	s := Stats{Nodes: g.NumNodes(), Edges: g.NumEdges(), Labels: g.NumLabels()}
+	if c := g.CSR(); c != nil {
+		for i := range g.nodes {
+			if d := c.OutDegree(NodeID(i)); d > s.MaxOutDegree {
+				s.MaxOutDegree = d
+			}
+			if d := c.InDegree(NodeID(i)); d > s.MaxInDegree {
+				s.MaxInDegree = d
+			}
+		}
+		return s
+	}
 	for i := range g.nodes {
 		if d := g.OutDegree(NodeID(i)); d > s.MaxOutDegree {
 			s.MaxOutDegree = d

@@ -35,10 +35,21 @@ func (e *Engine) ReachableAdaptive(owner, requester graph.NodeID, p *pathexpr.Pa
 
 // seedCount counts the traversals of node n admitted as a first edge of
 // step s (label and orientation only; predicates do not affect fan-out).
+// With a fresh CSR the counts are O(1) run-length reads.
 func (e *Engine) seedCount(n graph.NodeID, s pathexpr.Step) int {
 	label, ok := e.g.LookupLabel(s.Label)
 	if !ok {
 		return 0
+	}
+	if c := e.g.FreshCSR(); c != nil {
+		count := 0
+		if s.Dir == pathexpr.Out || s.Dir == pathexpr.Both {
+			count += len(c.OutNeighbors(n, label))
+		}
+		if s.Dir == pathexpr.In || s.Dir == pathexpr.Both {
+			count += len(c.InNeighbors(n, label))
+		}
+		return count
 	}
 	count := 0
 	if s.Dir == pathexpr.Out || s.Dir == pathexpr.Both {

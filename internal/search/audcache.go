@@ -1,0 +1,277 @@
+package search
+
+import (
+	"fmt"
+	"sync"
+
+	"reachac/internal/graph"
+	"reachac/internal/pathexpr"
+)
+
+// AudienceCache memoizes per-(owner, path) audience sets over one graph and
+// keeps them fresh incrementally: when the graph is fast-forwarded by a
+// recorded delta batch (the snapshot republication path), Advance extends
+// the cached product-BFS states through the added edges instead of
+// recomputing from scratch. Additions are monotone — a new edge can only
+// add matching paths — so the old visited set plus an expansion seeded at
+// the new edge is exactly the new fixpoint. Non-monotone deltas (edge
+// removals, label growth affecting a previously-absent label) drop only the
+// entries they can touch; those recompute lazily on next use.
+//
+// The cache is the engine behind the facade's Audience/PathAudience: it
+// answers repeat audience queries in microseconds regardless of the engine
+// kind selected for reachability checks, which all agree with the product
+// BFS by the differential test suite.
+//
+// Audience returns slices owned by the cache; callers must treat them as
+// immutable. Get-style reads lock briefly; Advance requires the caller to
+// guarantee quiescence (the publisher's contract for a retired snapshot).
+type AudienceCache struct {
+	e  *Engine
+	mu sync.Mutex
+	// entries is keyed by owner and canonical path text.
+	entries map[audKey]*audEntry
+	// frontier is the reusable expansion queue for Advance.
+	frontier []uint64
+}
+
+type audKey struct {
+	owner graph.NodeID
+	path  string
+}
+
+// audEntry is one cached audience: the compiled path it was computed under,
+// the full product-BFS visited bitset (the incremental state), the audience
+// membership bitset, and its materialized sorted form.
+type audEntry struct {
+	c       *compiled
+	visited []uint64
+	member  []uint64
+	out     []graph.NodeID
+	dirty   bool
+}
+
+// maxAudienceCacheEntries bounds the cache; beyond it audiences are computed
+// per call without caching. Entries are per (owner, path) — i.e. per shared
+// rule condition — so real policy sets stay far below the cap.
+const maxAudienceCacheEntries = 4096
+
+// NewAudienceCache returns an empty cache over g. The graph may be advanced
+// in place later via Advance; it must otherwise stay quiescent during use,
+// which snapshot clones guarantee.
+func NewAudienceCache(g *graph.Graph) *AudienceCache {
+	return &AudienceCache{e: New(g), entries: make(map[audKey]*audEntry)}
+}
+
+// Graph returns the graph the cache reads.
+func (ac *AudienceCache) Graph() *graph.Graph { return ac.e.g }
+
+// Len returns the number of cached audience entries.
+func (ac *AudienceCache) Len() int {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	return len(ac.entries)
+}
+
+// Audience returns the set of members reachable from owner through a path
+// matching p, in ascending node-ID order (the owner appears only on a
+// genuine cycle). The result is served from the cache when possible and is
+// owned by it: callers must not modify the returned slice.
+// Audience implements core.AudienceSource.
+func (ac *AudienceCache) Audience(owner graph.NodeID, p *pathexpr.Path) ([]graph.NodeID, error) {
+	g := ac.e.g
+	if !g.ValidNode(owner) {
+		return nil, fmt.Errorf("search: invalid owner %d", owner)
+	}
+	c, err := ac.e.plan(p)
+	if err != nil {
+		return nil, err
+	}
+	v := g.NumNodes()
+	if !c.flatOK(v) {
+		// Pathological state space: compute without caching.
+		return ac.e.AudienceSet(owner, p)
+	}
+	key := audKey{owner, c.str}
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	old, exists := ac.entries[key]
+	if exists && !(old.c.anyMissing && old.c.labelsLen != g.NumLabels()) {
+		if old.dirty {
+			old.out = appendBits(old.out[:0], old.member)
+			old.dirty = false
+		}
+		return old.out, nil
+	}
+	ent := ac.compute(c, owner)
+	if exists || len(ac.entries) < maxAudienceCacheEntries {
+		ac.entries[key] = ent
+	}
+	return ent.out, nil
+}
+
+// compute runs the full product BFS for (owner, c) into a fresh entry.
+// Callers hold ac.mu.
+func (ac *AudienceCache) compute(c *compiled, owner graph.NodeID) *audEntry {
+	v := ac.e.g.NumNodes()
+	ent := &audEntry{
+		c:       c,
+		visited: make([]uint64, c.flatWords(v)),
+		member:  make([]uint64, (v+63)/64),
+	}
+	if !c.anyMissing {
+		frontier := seedFlat(c, ent.visited, ac.frontier[:0], owner)
+		_, frontier, _ = ac.e.runFlat(c, ent.visited, ent.member, frontier, graph.InvalidNode, true)
+		ac.frontier = frontier
+		ent.out = appendBits(nil, ent.member)
+	}
+	return ent
+}
+
+// Advance brings every cached entry up to date after the cache's graph has
+// been fast-forwarded (in place) by deltas. Edge additions extend entries
+// incrementally; removals drop the entries whose path uses the removed
+// label (others cannot be affected); node additions grow the bitsets;
+// compactions change nothing the cache can see. The caller must guarantee
+// no concurrent readers, which the snapshot-advance protocol does.
+func (ac *AudienceCache) Advance(deltas []graph.Delta) {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	if len(ac.entries) == 0 {
+		return
+	}
+	g := ac.e.g
+	// Drop entries a removal could touch, and entries compiled while one of
+	// their labels was still absent if the label table has since grown.
+	nl := g.NumLabels()
+	for _, d := range deltas {
+		if d.Op != graph.OpRemoveEdge {
+			continue
+		}
+		l, ok := g.LookupLabel(d.Label)
+		if !ok {
+			continue
+		}
+		for key, ent := range ac.entries {
+			if ent.usesLabel(l) {
+				delete(ac.entries, key)
+			}
+		}
+	}
+	v := g.NumNodes()
+	for key, ent := range ac.entries {
+		if ent.c.anyMissing && ent.c.labelsLen != nl {
+			delete(ac.entries, key)
+			continue
+		}
+		if !ent.c.flatOK(v) {
+			delete(ac.entries, key)
+			continue
+		}
+		ent.visited = grow(ent.visited, ent.c.flatWords(v))
+		ent.member = grow(ent.member, (v+63)/64)
+	}
+	// Extend surviving entries through each added edge.
+	for _, d := range deltas {
+		if d.Op != graph.OpAddEdge {
+			continue
+		}
+		l, ok := g.LookupLabel(d.Label)
+		if !ok {
+			continue
+		}
+		for _, ent := range ac.entries {
+			ac.extend(ent, d.From, d.To, l)
+		}
+	}
+}
+
+// usesLabel reports whether the entry's path constrains on l.
+func (ent *audEntry) usesLabel(l graph.Label) bool {
+	for i := range ent.c.steps {
+		if ent.c.steps[i].labelOK && ent.c.steps[i].label == l {
+			return true
+		}
+	}
+	return false
+}
+
+// grow extends a bitset to words entries, preserving existing bits.
+func grow(b []uint64, words int) []uint64 {
+	for len(b) < words {
+		b = append(b, 0)
+	}
+	return b
+}
+
+// extend incorporates one added edge (from -l-> to) into an entry: every
+// previously reached product state that could traverse the edge seeds a BFS
+// expansion over the (already advanced) graph. Because the old visited set
+// is a fixpoint of the old graph, any newly matching path must cross a new
+// edge first at a previously reached state, so these seeds are complete.
+// Callers hold ac.mu.
+func (ac *AudienceCache) extend(ent *audEntry, from, to graph.NodeID, l graph.Label) {
+	c := ent.c
+	frontier := ac.frontier[:0]
+	for si := range c.steps {
+		st := &c.steps[si]
+		if !st.labelOK || st.label != l {
+			continue
+		}
+		if st.dir == pathexpr.Out || st.dir == pathexpr.Both {
+			frontier = ac.seedEdge(ent, frontier, int32(si), from, to)
+		}
+		if st.dir == pathexpr.In || st.dir == pathexpr.Both {
+			frontier = ac.seedEdge(ent, frontier, int32(si), to, from)
+		}
+	}
+	if len(frontier) > 0 {
+		ent.dirty = true
+		_, frontier, _ = ac.e.runFlat(c, ent.visited, ent.member, frontier, graph.InvalidNode, true)
+	}
+	ac.frontier = frontier
+}
+
+// seedEdge simulates traversing the new edge from every reached state
+// (u, si, d), marking the resulting states/members and enqueueing them.
+func (ac *AudienceCache) seedEdge(ent *audEntry, frontier []uint64, si int32, u, next graph.NodeID) []uint64 {
+	c := ent.c
+	st := &c.steps[si]
+	S := uint64(c.states)
+	last := int32(len(c.steps) - 1)
+	dCap := st.max
+	if st.unbounded {
+		dCap = st.min
+	}
+	base := uint64(u)*S + uint64(c.stepBase[si])
+	for d := 0; d <= dCap; d++ {
+		bit := base + uint64(d)
+		if ent.visited[bit>>6]&(1<<(bit&63)) == 0 {
+			continue
+		}
+		d1 := d + 1
+		if st.mayClose(d1) && st.predsHold(ac.e.g, next) {
+			if si == last {
+				if ent.member[next>>6]&(1<<(next&63)) == 0 {
+					ent.member[next>>6] |= 1 << (next & 63)
+					ent.dirty = true
+				}
+			} else {
+				nbit := uint64(next)*S + uint64(c.stepBase[si+1])
+				if ent.visited[nbit>>6]&(1<<(nbit&63)) == 0 {
+					ent.visited[nbit>>6] |= 1 << (nbit & 63)
+					frontier = append(frontier, packState(next, si+1, 0))
+				}
+			}
+		}
+		if st.mayContinue(d1) {
+			dk := int32(st.dKey(d1))
+			nbit := uint64(next)*S + uint64(c.stepBase[si]) + uint64(dk)
+			if ent.visited[nbit>>6]&(1<<(nbit&63)) == 0 {
+				ent.visited[nbit>>6] |= 1 << (nbit & 63)
+				frontier = append(frontier, packState(next, si, dk))
+			}
+		}
+	}
+	return frontier
+}

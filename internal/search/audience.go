@@ -2,6 +2,7 @@ package search
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"reachac/internal/graph"
@@ -15,19 +16,61 @@ import (
 // naive per-member loop. The owner is included only if a genuine cycle
 // matches. Results are in ascending node-ID order.
 func (e *Engine) AudienceSet(owner graph.NodeID, p *pathexpr.Path) ([]graph.NodeID, error) {
+	return e.AppendAudience(nil, owner, p)
+}
+
+// AppendAudience is AudienceSet appending into dst (which may be nil) and
+// returning the extended slice, so a caller reusing a sufficiently large
+// buffer pays zero heap allocations on a warmed engine. Results are in
+// ascending node-ID order starting at dst's existing length.
+func (e *Engine) AppendAudience(dst []graph.NodeID, owner graph.NodeID, p *pathexpr.Path) ([]graph.NodeID, error) {
 	if !e.g.ValidNode(owner) {
-		return nil, fmt.Errorf("search: invalid owner %d", owner)
+		return dst, fmt.Errorf("search: invalid owner %d", owner)
 	}
-	steps, err := compile(e.g, p)
+	c, err := e.plan(p)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
-	for i := range steps {
-		if !steps[i].labelOK {
-			return nil, nil
+	if c.anyMissing {
+		return dst, nil
+	}
+	v := e.g.NumNodes()
+	if !c.flatOK(v) {
+		set, err := e.audienceSetMap(c.steps, owner)
+		if err != nil {
+			return dst, err
+		}
+		return append(dst, set...), nil
+	}
+	sc := scratchPool.Get().(*scratch)
+	sc.visited = bitset(sc.visited, c.flatWords(v))
+	sc.member = bitset(sc.member, (v+63)/64)
+	frontier := seedFlat(c, sc.visited, sc.frontier[:0], owner)
+	_, frontier, work := e.runFlat(c, sc.visited, sc.member, frontier, graph.InvalidNode, true)
+	sc.frontier = frontier
+	dst = appendBits(dst, sc.member)
+	scratchPool.Put(sc)
+	if e.g.FreshCSR() == nil {
+		e.g.AddCSRDebt(work)
+	}
+	return dst, nil
+}
+
+// appendBits appends the set bit positions of member to dst in ascending
+// order.
+func appendBits(dst []graph.NodeID, member []uint64) []graph.NodeID {
+	for wi, w := range member {
+		for w != 0 {
+			dst = append(dst, graph.NodeID(wi*64+bits.TrailingZeros64(w)))
+			w &= w - 1
 		}
 	}
+	return dst
+}
 
+// audienceSetMap is the pre-flat map-based product BFS, kept as the
+// fallback for state spaces beyond the flat layout's bounds.
+func (e *Engine) audienceSetMap(steps []compiledStep, owner graph.NodeID) ([]graph.NodeID, error) {
 	start := state{node: owner, step: 0, d: 0}
 	seen := map[state]bool{start: true}
 	frontier := []state{start}

@@ -11,6 +11,8 @@ package search
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"reachac/internal/graph"
 	"reachac/internal/pathexpr"
@@ -99,11 +101,19 @@ type Hop struct {
 }
 
 // Engine evaluates reachability constraints by online graph traversal.
+// Decision queries (Reachable, AudienceSet) run on the flat bitset search of
+// flat.go — allocation-free after warmup — while Witness keeps the map-based
+// traversal it needs for path reconstruction. An Engine is safe for
+// concurrent queries over a quiescent graph.
 type Engine struct {
 	g *graph.Graph
 	// DFS selects depth-first instead of breadth-first exploration. Both
 	// return identical decisions; DFS may find longer witnesses.
 	DFS bool
+	// plans caches compiled paths per *pathexpr.Path (see flat.go); paths
+	// must not be mutated after first use, which rule storage guarantees.
+	plans     sync.Map
+	planCount atomic.Int64
 }
 
 // New returns an online-search evaluator over g.
@@ -119,11 +129,37 @@ func (e *Engine) ApplyDelta(g *graph.Graph, _ []graph.Delta) bool { return e.g =
 
 // Reachable reports whether requester is reachable from owner through a path
 // matching p (Definition 3: the requester must have a direct or indirect
-// relationship with the owner that matches the specified path).
+// relationship with the owner that matches the specified path). It runs the
+// flat bitset search — zero heap allocations once the plan cache and the
+// pooled scratch are warm — and falls back to the map-based Witness search
+// only for state spaces too large for the flat layout.
 func (e *Engine) Reachable(owner, requester graph.NodeID, p *pathexpr.Path) (bool, error) {
-	hops, ok, err := e.Witness(owner, requester, p)
-	_ = hops
-	return ok, err
+	if !e.g.ValidNode(owner) || !e.g.ValidNode(requester) {
+		return false, fmt.Errorf("search: invalid node (owner=%d requester=%d)", owner, requester)
+	}
+	c, err := e.plan(p)
+	if err != nil {
+		return false, err
+	}
+	if c.anyMissing {
+		// A label absent from the graph can never be matched.
+		return false, nil
+	}
+	v := e.g.NumNodes()
+	if !c.flatOK(v) {
+		_, ok, werr := e.Witness(owner, requester, p)
+		return ok, werr
+	}
+	sc := scratchPool.Get().(*scratch)
+	sc.visited = bitset(sc.visited, c.flatWords(v))
+	frontier := seedFlat(c, sc.visited, sc.frontier[:0], owner)
+	found, frontier, work := e.runFlat(c, sc.visited, nil, frontier, requester, false)
+	sc.frontier = frontier
+	scratchPool.Put(sc)
+	if e.g.FreshCSR() == nil {
+		e.g.AddCSRDebt(work)
+	}
+	return found, nil
 }
 
 // Witness is Reachable returning also a matching path (sequence of hops

@@ -29,6 +29,11 @@ type snapshot struct {
 	// reader observes mid-decision.
 	store  *core.Store
 	engine *core.Engine
+	// aud caches audience sets over g, maintained incrementally across
+	// delta advances (see search.AudienceCache). It is shared exactly as
+	// far as g is: policy-only republications reuse it, a delta advance
+	// carries it forward via Advance, and a full rebuild starts it fresh.
+	aud *search.AudienceCache
 	// version is the master graph's Version at clone time; src and gen
 	// identify the live policy store and its Generation at clone time.
 	// The snapshot is current exactly while all three still match.
@@ -214,24 +219,31 @@ func (n *Network) publishLocked() (*snapshot, error) {
 	var (
 		gc   *graph.Graph
 		eval Evaluator
+		aud  *search.AudienceCache
 		refs *atomic.Int64
 	)
 	if cur != nil && cur.version == gv && cur.kind == n.kind {
-		// Policy-only change: share the clone, evaluator and reader count.
-		gc, eval, refs = cur.g, cur.eval, cur.refs
-	} else if agc, aeval := n.advanceSpareLocked(cur); agc != nil {
-		gc, eval = agc, aeval
+		// Policy-only change: share the clone, evaluator, audience cache
+		// and reader count.
+		gc, eval, aud, refs = cur.g, cur.eval, cur.aud, cur.refs
+	} else if agc, aeval, aaud := n.advanceSpareLocked(cur); agc != nil {
+		gc, eval, aud = agc, aeval, aaud
 	}
 	if gc == nil {
 		gc = n.g.Clone()
 		// Private clones never serve ChangesSince (the master's log drives
 		// every advance), so don't let delta replays accumulate in them.
 		gc.SetDeltaLogLimit(-1)
+		// Build the CSR adjacency eagerly: the full-rebuild path already
+		// pays O(V+E), and a fresh CSR makes every query on the snapshot
+		// run the dense read path from the first call.
+		gc.CSR()
 		var err error
 		eval, err = buildEvaluator(n.kind, gc)
 		if err != nil {
 			return nil, err
 		}
+		aud = search.NewAudienceCache(gc)
 	}
 	if refs == nil {
 		refs = new(atomic.Int64)
@@ -241,6 +253,7 @@ func (n *Network) publishLocked() (*snapshot, error) {
 		g:       gc,
 		kind:    n.kind,
 		eval:    eval,
+		aud:     aud,
 		store:   view,
 		engine:  core.NewEngineWithLog(view, eval, n.audit),
 		version: gv,
@@ -266,31 +279,31 @@ func (n *Network) publishLocked() (*snapshot, error) {
 // advanceSpareLocked tries to satisfy a publication by fast-forwarding the
 // retired spare snapshot's private clone to the master's current version —
 // replaying the bounded delta log at O(Δ) instead of paying the O(V+E)
-// re-clone — and advancing its evaluator in place when possible. It returns
-// (nil, nil) when no spare is stealable: none exists, readers still hold
-// it, or the delta window has been trimmed past its version. Callers must
-// hold n.mu.
-func (n *Network) advanceSpareLocked(cur *snapshot) (*graph.Graph, Evaluator) {
+// re-clone — and advancing its evaluator and audience cache in place when
+// possible. It returns nils when no spare is stealable: none exists,
+// readers still hold it, or the delta window has been trimmed past its
+// version. Callers must hold n.mu.
+func (n *Network) advanceSpareLocked(cur *snapshot) (*graph.Graph, Evaluator, *search.AudienceCache) {
 	spare := n.spare
 	if spare == nil {
-		return nil, nil
+		return nil, nil, nil
 	}
 	if cur != nil && cur.g == spare.g {
 		// Defensive: never advance a clone the published snapshot shares.
 		n.spare = nil
-		return nil, nil
+		return nil, nil, nil
 	}
 	if spare.refs.Load() != 0 {
 		// A reader still traverses the clone; keep the spare for a later
 		// publication and fall back to a full rebuild now.
-		return nil, nil
+		return nil, nil, nil
 	}
 	deltas, ok := n.g.ChangesSince(spare.version)
 	if !ok {
 		// The window no longer reaches back; the spare can only fall
 		// further behind, so drop it.
 		n.spare = nil
-		return nil, nil
+		return nil, nil, nil
 	}
 	// The spare is consumed either way: on any failure below its clone is
 	// partially advanced and must never be reused.
@@ -298,21 +311,30 @@ func (n *Network) advanceSpareLocked(cur *snapshot) (*graph.Graph, Evaluator) {
 	gc := spare.g
 	for _, d := range deltas {
 		if err := gc.Apply(d); err != nil {
-			return nil, nil
+			return nil, nil, nil
 		}
+	}
+	// The clone is fully advanced, so the audience cache can follow it
+	// incrementally; the spare being unobserved guarantees the quiescence
+	// Advance requires.
+	aud := spare.aud
+	if aud == nil {
+		aud = search.NewAudienceCache(gc)
+	} else {
+		aud.Advance(deltas)
 	}
 	if spare.kind == n.kind {
 		if inc, isInc := spare.eval.(core.IncrementalEvaluator); isInc && inc.ApplyDelta(gc, deltas) {
-			return gc, spare.eval
+			return gc, spare.eval, aud
 		}
 	}
 	// Evaluator declined (or the engine kind changed): the advanced clone
 	// is still sound, rebuild only the evaluator over it.
 	eval, err := buildEvaluator(n.kind, gc)
 	if err != nil {
-		return nil, nil
+		return nil, nil, nil
 	}
-	return gc, eval
+	return gc, eval, aud
 }
 
 // CanAccessAll decides access to one resource for many requesters in a

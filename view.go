@@ -98,11 +98,17 @@ func (v *View) PathAudience(owner UserID, expr string) ([]UserID, error) {
 }
 
 // audience enumerates the users the resource's rules admit; an unregistered
-// resource is ErrUnknownResource.
+// resource is ErrUnknownResource. The per-condition sets come from the
+// snapshot's incrementally maintained audience cache, so repeat audiences —
+// and audiences after a delta advance — skip the graph traversal entirely,
+// regardless of the engine kind answering point checks.
 func (s *snapshot) audience(resource string) ([]UserID, error) {
 	res := core.ResourceID(resource)
 	if _, ok := s.store.Owner(res); !ok {
 		return nil, fmt.Errorf("reachac: audience of %q: %w", resource, ErrUnknownResource)
+	}
+	if s.aud != nil {
+		return s.store.AudienceWith(res, s.aud)
 	}
 	return s.store.Audience(res, s.g, s.eval)
 }
@@ -118,6 +124,20 @@ func (s *snapshot) pathAudience(owner UserID, expr string) ([]UserID, error) {
 	}
 	if !s.g.ValidNode(owner) {
 		return nil, fmt.Errorf("reachac: path audience of user %d: %w", owner, ErrUnknownUser)
+	}
+	if s.aud != nil {
+		ids, err := s.aud.Audience(owner, p)
+		if err != nil {
+			return nil, err
+		}
+		// The cache owns ids (sorted ascending); copy, dropping the owner.
+		out := make([]UserID, 0, len(ids))
+		for _, id := range ids {
+			if id != owner {
+				out = append(out, id)
+			}
+		}
+		return out, nil
 	}
 	if fast, ok := s.eval.(core.AudienceSetEvaluator); ok {
 		ids, err := fast.AudienceSet(owner, p)
