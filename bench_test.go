@@ -660,3 +660,133 @@ func BenchmarkAudienceIncremental(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkPlannerRouting compares a statically-evaluated network against
+// the same network with cost-based planner routing on a mixed query shape:
+// point checks (decision-cache friendly), path checks with asymmetric
+// endpoints (reverse-routing friendly) and audience scans (audience-cache
+// friendly). The planner arm should never trail the static arm by more
+// than its per-query routing overhead.
+func BenchmarkPlannerRouting(b *testing.B) {
+	arms := []struct {
+		name string
+		opts []Option
+	}{
+		{"static-online", nil},
+		{"planner", []Option{WithPlanner(PlannerOptions{})}},
+	}
+	for _, arm := range arms {
+		b.Run(arm.name, func(b *testing.B) {
+			g := benchGraph("social")
+			n := FromGraph(g, arm.opts...)
+			owner, _ := n.UserID("u000010")
+			if _, err := n.Share("r", owner, "friend+[1,2]"); err != nil {
+				b.Fatal(err)
+			}
+			pairs := workload.HitPairs(g, 256, 2, 7)
+			// Warm: publish the snapshot, fill the decision cache and
+			// materialize the audience sets outside the timer.
+			for _, p := range pairs {
+				if _, err := n.CanAccess("r", p.Requester); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := n.Audience("r"); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				if _, err := n.CanAccess("r", p.Requester); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := n.CheckPath(p.Owner, p.Requester, "friend+[1,2]"); err != nil {
+					b.Fatal(err)
+				}
+				if i%16 == 0 {
+					if _, err := n.Audience("r"); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecisionCacheChurn measures the warmed check latency right
+// after a mutation, by how the mutation's labels relate to the cached
+// decisions' tags. "no-mutation" is the pure cache-hit floor. "unrelated"
+// toggles an edge whose label no rule mentions: per-delta invalidation
+// must carry every entry across the republication, keeping the warmed
+// reads within the same order as the floor (the acceptance bound is 2x).
+// "related" toggles an edge on the rule's own label, evicting every
+// tagged entry — the price of correctness, paid only when it must be.
+// The untimed post-mutation read pays the republication itself; the timer
+// covers only the warmed decision sweep.
+func BenchmarkDecisionCacheChurn(b *testing.B) {
+	for _, arm := range []struct{ name, label string }{
+		{"no-mutation", ""},
+		{"unrelated", "bench-unrelated"},
+		{"related", "friend"},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			g := benchGraph("social")
+			n := FromGraph(g)
+			owner, _ := n.UserID("u000010")
+			if _, err := n.Share("r", owner, "friend+[1,2]"); err != nil {
+				b.Fatal(err)
+			}
+			pairs := workload.HitPairs(g, 256, 2, 7)
+			x, _ := n.UserID("u000001")
+			y, _ := n.UserID("u000002")
+			sweep := func() {
+				for _, p := range pairs {
+					if _, err := n.CanAccess("r", p.Requester); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			// Warm both ping-pong snapshots' decision caches: the carried
+			// cache is the retired spare's, one publication behind.
+			for i := 0; i < 2; i++ {
+				if err := n.Relate(x, y, "bench-warm"); err != nil {
+					b.Fatal(err)
+				}
+				sweep()
+				if err := n.Unrelate(x, y, "bench-warm"); err != nil {
+					b.Fatal(err)
+				}
+				sweep()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if arm.label != "" {
+					b.StopTimer()
+					var err error
+					if i%2 == 0 {
+						err = n.Relate(x, y, arm.label)
+					} else {
+						err = n.Unrelate(x, y, arm.label)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					// Pay the republication (spare advance + cache carry)
+					// outside the timer; the sweep below measures warmed
+					// decisions only.
+					if _, err := n.CanAccess("r", pairs[0].Requester); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
+				sweep()
+			}
+			st := n.Stats()
+			if b.N > 0 {
+				b.ReportMetric(float64(st.DecisionCacheEvictions)/float64(b.N), "evictions/op")
+			}
+		})
+	}
+}

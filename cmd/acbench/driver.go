@@ -76,15 +76,23 @@ type embeddedTarget struct {
 }
 
 // newEmbeddedTarget builds a network over a private clone of g (each
-// scenario starts from the pristine graph), selects the engine, and
-// pre-shares the scenario's resources in one batch.
+// scenario starts from the pristine graph), selects the engine — or, for
+// the planner pseudo-engine, enables cost-based routing over the Online
+// primary — and pre-shares the scenario's resources in one batch.
 func newEmbeddedTarget(g *graph.Graph, kind reachac.EngineKind, specs []workload.ResourceSpec, workers int) (*embeddedTarget, error) {
-	n := reachac.FromGraph(g.Clone())
+	var n *reachac.Network
+	if kind == plannerEngine {
+		n = reachac.FromGraph(g.Clone(), reachac.WithPlanner(reachac.PlannerOptions{}))
+	} else {
+		n = reachac.FromGraph(g.Clone())
+	}
 	if err := shareSpecs(n, specs); err != nil {
 		return nil, err
 	}
-	if err := n.UseEngine(kind); err != nil {
-		return nil, fmt.Errorf("engine %s: %w", kind, err)
+	if kind != plannerEngine {
+		if err := n.UseEngine(kind); err != nil {
+			return nil, fmt.Errorf("engine %s: %w", kind, err)
+		}
 	}
 	return &embeddedTarget{net: n, specs: specs, rules: newRuleStacks(workers, len(specs))}, nil
 }
@@ -308,7 +316,11 @@ func newSelfHostedTarget(g *graph.Graph, kind reachac.EngineKind, specs []worklo
 		os.RemoveAll(dir)
 		return nil, e
 	}
-	n, err := reachac.Open(dir, reachac.WithEngine(kind), sync)
+	opts := []reachac.Option{reachac.WithEngine(kind), sync}
+	if kind == plannerEngine {
+		opts = []reachac.Option{reachac.WithEngine(reachac.Online), reachac.WithPlanner(reachac.PlannerOptions{}), sync}
+	}
+	n, err := reachac.Open(dir, opts...)
 	if err != nil {
 		return fail(err)
 	}
@@ -421,14 +433,22 @@ func importGraph(n *reachac.Network, g *graph.Graph) error {
 
 func countersFromStats(st reachac.Stats, srv *httpapi.ServerStats) Counters {
 	c := Counters{
-		Checks:         st.Checks,
-		BatchChecks:    st.BatchChecks,
-		Audiences:      st.Audiences,
-		Mutations:      st.Mutations,
-		Batches:        st.Batches,
-		Republications: st.Republications,
-		WALAppends:     st.WALAppends,
-		WALFsyncs:      st.WALFsyncs,
+		Checks:             st.Checks,
+		BatchChecks:        st.BatchChecks,
+		Audiences:          st.Audiences,
+		Mutations:          st.Mutations,
+		Batches:            st.Batches,
+		Republications:     st.Republications,
+		DecisionCacheHits:  st.DecisionCacheHits,
+		DecisionCacheMiss:  st.DecisionCacheMisses,
+		DecisionCacheEvict: st.DecisionCacheEvictions,
+		PlannerAudience:    st.PlannerRouteAudience,
+		PlannerFlatForward: st.PlannerRouteFlatForward,
+		PlannerFlatReverse: st.PlannerRouteFlatReverse,
+		PlannerPrimary:     st.PlannerRoutePrimary,
+		PlannerMigrations:  st.PlannerMigrations,
+		WALAppends:         st.WALAppends,
+		WALFsyncs:          st.WALFsyncs,
 	}
 	if srv != nil {
 		c.CommitGroups = srv.CommitGroups

@@ -46,8 +46,8 @@ func main() {
 	var (
 		mode      = flag.String("mode", "embedded", "benchmark mode: embedded, http, or both")
 		addr      = flag.String("addr", "", "drive an external acserverd at this address (http mode; default self-hosts one per engine)")
-		engines   = flag.String("engines", "online,index", "comma-separated engine kinds, or 'all'")
-		scenarios = flag.String("scenarios", "all", "comma-separated scenario mixes, or 'all' (have: read-heavy, write-heavy, check-batch, audience-scan, churn)")
+		engines   = flag.String("engines", "online,index", "comma-separated engine kinds, 'planner' (cost-based routing), or 'all'")
+		scenarios = flag.String("scenarios", "all", "comma-separated scenario mixes, or 'all' (have: read-heavy, write-heavy, check-batch, audience-scan, churn, mixed-shape)")
 		nodes     = flag.Int("nodes", 2000, "social graph size")
 		degree    = flag.Int("degree", 8, "average out-degree of the generated graph")
 		resources = flag.Int("resources", 48, "pre-shared resources per scenario")
@@ -203,7 +203,7 @@ func runScenario(mode string, g *graph.Graph, kind reachac.EngineKind, mix workl
 
 	engine := t.engineName()
 	if engine == "" {
-		engine = kind.String()
+		engine = engineLabel(kind)
 	}
 	total := res.Ops + res.Errors + res.Shed
 	sr := ScenarioResult{
@@ -291,6 +291,21 @@ func parseModes(s string) ([]string, error) {
 var allEngines = []reachac.EngineKind{
 	reachac.Online, reachac.OnlineDFS, reachac.OnlineAdaptive,
 	reachac.Closure, reachac.Index, reachac.IndexPaperJoin,
+	plannerEngine,
+}
+
+// plannerEngine is a pseudo engine kind: the target is built with
+// WithPlanner routing enabled over the Online primary instead of a static
+// evaluator selection. It never reaches reachac.UseEngine.
+const plannerEngine reachac.EngineKind = -1
+
+// engineLabel names a cell's engine column, mapping the planner sentinel
+// to its artifact label.
+func engineLabel(kind reachac.EngineKind) string {
+	if kind == plannerEngine {
+		return "planner"
+	}
+	return kind.String()
 }
 
 func parseEngines(s string) ([]reachac.EngineKind, error) {
@@ -327,8 +342,10 @@ func engineByName(s string) (reachac.EngineKind, error) {
 		return reachac.Index, nil
 	case "index-paper":
 		return reachac.IndexPaperJoin, nil
+	case "planner":
+		return plannerEngine, nil
 	}
-	return 0, fmt.Errorf("unknown engine %q (have online, online-dfs, online-adaptive, closure, index, index-paper)", s)
+	return 0, fmt.Errorf("unknown engine %q (have online, online-dfs, online-adaptive, closure, index, index-paper, planner)", s)
 }
 
 func parseScenarios(s string, batch int) ([]workload.Mix, error) {

@@ -221,13 +221,19 @@ func TestParseHelpers(t *testing.T) {
 	if ms, _ := parseModes("both"); len(ms) != 2 {
 		t.Fatalf("both = %v", ms)
 	}
-	if ks, err := parseEngines("all"); err != nil || len(ks) != 6 {
+	if ks, err := parseEngines("all"); err != nil || len(ks) != 7 {
 		t.Fatalf("all engines = %v, %v", ks, err)
+	}
+	if k, err := parseEngines("planner"); err != nil || len(k) != 1 || k[0] != plannerEngine {
+		t.Fatalf("planner engine = %v, %v", k, err)
+	}
+	if got := engineLabel(plannerEngine); got != "planner" {
+		t.Fatalf("planner label = %q", got)
 	}
 	if _, err := parseEngines("warp-drive"); err == nil {
 		t.Fatal("bad engine accepted")
 	}
-	if mixes, err := parseScenarios("all", 8); err != nil || len(mixes) != 5 {
+	if mixes, err := parseScenarios("all", 8); err != nil || len(mixes) != 6 {
 		t.Fatalf("all scenarios = %v, %v", mixes, err)
 	}
 	if mixes, err := parseScenarios("check-batch", 8); err != nil || mixes[0].BatchSize != 8 {

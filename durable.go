@@ -27,12 +27,14 @@ const (
 // checkpoint and log rotation.
 const DefaultCheckpointEvery int64 = 4 << 20
 
-// openConfig collects Open's options.
+// openConfig collects the constructor options (Open, New, FromGraph).
 type openConfig struct {
 	kind         EngineKind
 	sync         SyncPolicy
 	syncInterval time.Duration
 	ckptEvery    int64
+	route        bool
+	planner      PlannerOptions
 }
 
 // Option configures Open.
@@ -93,6 +95,8 @@ func Open(dir string, opts ...Option) (*Network, error) {
 	n := newNetwork(rec.Graph, rec.Store)
 	n.wal = l
 	n.ckptEvery = cfg.ckptEvery
+	n.route = cfg.route
+	n.autoMigrate = cfg.planner.AutoMigrate
 	n.recovery = RecoveryInfo{Groups: rec.Groups, TornTail: rec.TornTail, CheckpointSeq: rec.CheckpointSeq}
 	// Republish the snapshot now, so the first read after recovery doesn't
 	// pay for the engine build.

@@ -1,0 +1,185 @@
+package planner
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"reachac/internal/core"
+	"reachac/internal/graph"
+)
+
+// DecisionCache memoizes access decisions per (resource, requester) with
+// per-delta invalidation: each entry is tagged with the label set its
+// resource's rules can traverse, and a graph delta evicts only the entries
+// whose tags intersect the delta. The eviction rule exploits monotonicity:
+//
+//   - an edge ADDITION can only create reachability, so cached Allow
+//     entries stay correct unconditionally; a cached Deny is evicted iff
+//     the added edge's label is one the resource's rules constrain on
+//     (otherwise no rule path can cross the new edge);
+//   - an edge REMOVAL can only destroy reachability, so cached Deny
+//     entries stay correct unconditionally; a cached Allow is evicted iff
+//     the removed edge's label intersects its tag — except owner grants
+//     (RuleID "owner"), which no edge can revoke;
+//   - node additions and tombstone compactions change no existing
+//     reachability and evict nothing.
+//
+// A surviving entry preserves the decision's Effect, which is what access
+// control answers; its RuleID/Reason may name a different rule than a fresh
+// evaluation would (an addition can make an earlier rule match first). Any
+// POLICY change invalidates the tags themselves, so the facade starts a
+// fresh cache at every policy generation — Advance only ever sees pure
+// graph deltas.
+//
+// The label tag is the union over ALL of the resource's rules, computed
+// once per resource through the labelsFor callback and shared by its
+// entries; an unregistered resource has an empty tag, so its Deny is never
+// evicted by graph deltas (registration is a policy change). Tags are label
+// NAMES, not table ordinals, so label-table growth cannot alias them.
+//
+// Get/Put are safe for concurrent use and the hit path performs no heap
+// allocations (the same sync.Map pattern as the facade's previous
+// wholesale-dropped cache). Advance requires quiescence — the publisher's
+// retired-spare proof, exactly like search.AudienceCache.Advance.
+type DecisionCache struct {
+	m   sync.Map // dcacheKey -> dcacheEntry
+	len atomic.Int64
+	ctr *CacheCounters
+	// labelsFor resolves a resource to the label-name union of its rules'
+	// path steps against the snapshot's frozen policy view; results are
+	// memoized in tags.
+	labelsFor func(core.ResourceID) []string
+	tags      sync.Map // core.ResourceID -> []string
+}
+
+// CacheCounters tallies decision-cache traffic. The block is owned by the
+// Planner and shared across the network's successive caches, so the
+// counters are monotonic over the process lifetime, not per snapshot.
+type CacheCounters struct {
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// dcacheKey identifies one cached access decision.
+type dcacheKey struct {
+	res core.ResourceID
+	req graph.NodeID
+}
+
+// dcacheEntry is one cached decision plus its resource's label tag (shared
+// across the resource's entries).
+type dcacheEntry struct {
+	d      core.Decision
+	labels []string
+}
+
+// maxCachedDecisions caps one cache's entries. Entries beyond the cap are
+// decided but not memoized; the cap is generous because an entry is small
+// and policy churn restarts the cache.
+const maxCachedDecisions = 1 << 20
+
+// NewDecisionCache returns an empty cache. labelsFor must resolve a
+// resource to the union of label names its rules' paths constrain on, read
+// from an immutable policy view; ctr may be shared across caches (see
+// Planner.CacheCounters) or nil for a private block.
+func NewDecisionCache(labelsFor func(core.ResourceID) []string, ctr *CacheCounters) *DecisionCache {
+	if ctr == nil {
+		ctr = new(CacheCounters)
+	}
+	return &DecisionCache{ctr: ctr, labelsFor: labelsFor}
+}
+
+// Get returns the cached decision for (res, req). The hit path is
+// allocation-free.
+func (c *DecisionCache) Get(res core.ResourceID, req graph.NodeID) (core.Decision, bool) {
+	if v, ok := c.m.Load(dcacheKey{res, req}); ok {
+		c.ctr.hits.Add(1)
+		return v.(dcacheEntry).d, true
+	}
+	c.ctr.misses.Add(1)
+	return core.Decision{}, false
+}
+
+// Put memoizes one decision, tagging it with its resource's label set.
+func (c *DecisionCache) Put(res core.ResourceID, req graph.NodeID, d core.Decision) {
+	if c.len.Load() >= maxCachedDecisions {
+		return
+	}
+	ent := dcacheEntry{d: d, labels: c.tag(res)}
+	if _, loaded := c.m.LoadOrStore(dcacheKey{res, req}, ent); !loaded {
+		c.len.Add(1)
+	}
+}
+
+// tag returns the memoized label tag of res.
+func (c *DecisionCache) tag(res core.ResourceID) []string {
+	if v, ok := c.tags.Load(res); ok {
+		return v.([]string)
+	}
+	labels := c.labelsFor(res)
+	if v, loaded := c.tags.LoadOrStore(res, labels); loaded {
+		return v.([]string)
+	}
+	return labels
+}
+
+// Len returns the number of cached decisions.
+func (c *DecisionCache) Len() int { return int(c.len.Load()) }
+
+// Advance applies one published delta batch: it evicts exactly the entries
+// the batch could have flipped (see the type comment for the monotonicity
+// argument) and keeps the rest warm. The caller must guarantee no
+// concurrent Get/Put, which the snapshot-advance protocol does.
+func (c *DecisionCache) Advance(deltas []graph.Delta) {
+	var added, removed []string
+	for _, d := range deltas {
+		switch d.Op {
+		case graph.OpAddEdge:
+			added = appendLabel(added, d.Label)
+		case graph.OpRemoveEdge:
+			removed = appendLabel(removed, d.Label)
+		}
+	}
+	if len(added) == 0 && len(removed) == 0 {
+		return
+	}
+	c.m.Range(func(k, v any) bool {
+		ent := v.(dcacheEntry)
+		evict := false
+		if ent.d.Effect == core.Deny {
+			evict = intersects(ent.labels, added)
+		} else if ent.d.RuleID != "owner" {
+			evict = intersects(ent.labels, removed)
+		}
+		if evict {
+			c.m.Delete(k)
+			c.len.Add(-1)
+			c.ctr.evictions.Add(1)
+		}
+		return true
+	})
+}
+
+// appendLabel adds l to set if absent (delta batches repeat few labels, so
+// a linear scan beats a map).
+func appendLabel(set []string, l string) []string {
+	for _, s := range set {
+		if s == l {
+			return set
+		}
+	}
+	return append(set, l)
+}
+
+// intersects reports whether the two label-name sets share an element.
+func intersects(a, b []string) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}

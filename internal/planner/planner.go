@@ -1,0 +1,305 @@
+// Package planner implements the cost-based engine planner: it keeps
+// lightweight per-strategy statistics — observed latencies (EWMA), route
+// counts, and the read/mutation balance of the recent workload — and picks,
+// per reachability query, the cheapest way to answer it on the current
+// snapshot:
+//
+//   - the snapshot's audience cache, when it already holds the owner's
+//     materialized audience for the path (an O(1) bitset test);
+//   - the flat product-BFS seeded from whichever endpoint admits fewer
+//     first-step traversals (the generalization of the old adaptive
+//     engine's endpoint selection);
+//   - the snapshot's primary evaluator (closure or join index), raced
+//     ε-greedily against the flat search so the planner keeps learning
+//     which side wins as the graph grows.
+//
+// On top of per-query routing the planner watches the mutation rate and
+// recommends whole-network engine migration when the workload shifts:
+// churn-heavy phases favor the online engines (free snapshot advances),
+// long read-only phases favor the precomputed ones. Migration is applied by
+// the facade only when the WithPlanner option enables it; otherwise the
+// recommendation is surfaced through Stats as pure observability.
+//
+// The package also provides DecisionCache (dcache.go), the label-tagged
+// decision cache with per-delta invalidation that replaces the facade's
+// old drop-wholesale snapshot cache.
+package planner
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind mirrors the facade's EngineKind ordinals (reachac asserts the
+// correspondence in its tests); the planner needs only the build-cost class
+// of the primary evaluator, not its implementation.
+type Kind int
+
+// Engine kinds, ordinal-compatible with reachac.EngineKind.
+const (
+	Online Kind = iota
+	OnlineDFS
+	OnlineAdaptive
+	Closure
+	Index
+	IndexPaperJoin
+	numKinds
+)
+
+// Heavy reports whether the kind precomputes per-snapshot state (closure
+// bitsets, join index): fast queries bought with expensive builds, the
+// opposite trade of the online family.
+func (k Kind) Heavy() bool { return k >= Closure }
+
+// Strategy is one way to execute a reachability query on a snapshot.
+type Strategy int
+
+// Strategies, cheapest-when-applicable first.
+const (
+	// StratAudience answers from the snapshot's incrementally-maintained
+	// audience cache: an O(1) membership bit test, available whenever the
+	// owner's audience for the path is already materialized.
+	StratAudience Strategy = iota
+	// StratFlatForward runs the flat product-BFS from the owner.
+	StratFlatForward
+	// StratFlatReverse runs the flat product-BFS over the reversed pattern
+	// from the requester — cheaper when the requester's cone is smaller.
+	StratFlatReverse
+	// StratPrimary delegates to the snapshot's primary evaluator (the
+	// selected engine kind).
+	StratPrimary
+	numStrategies
+)
+
+// String names the strategy for logs and tests.
+func (s Strategy) String() string {
+	switch s {
+	case StratAudience:
+		return "audience-cache"
+	case StratFlatForward:
+		return "flat-forward"
+	case StratFlatReverse:
+		return "flat-reverse"
+	case StratPrimary:
+		return "primary"
+	default:
+		return "unknown"
+	}
+}
+
+// Tuning constants. They are heuristics, not contracts: the differential
+// tests guarantee every routing choice returns identical decisions, so the
+// constants only move cost around.
+const (
+	// sampleEvery: one in this many routed queries is wall-clock timed to
+	// feed the per-strategy EWMAs (timing every query would put two
+	// time.Now calls on the hot path).
+	sampleEvery = 16
+	// exploreEvery: on heavy engines, one in this many queries runs the
+	// currently-losing arm so a stale EWMA cannot pin the planner to a
+	// choice the graph has outgrown.
+	exploreEvery = 64
+	// ewmaShift: EWMA decay α = 1/2^ewmaShift.
+	ewmaShift = 3
+	// recommendWindow: operations (reads+mutations) between migration
+	// reassessments; windows smaller than this return "no recommendation".
+	recommendWindow = 512
+	// cooldownWindows: full windows that must pass after a migration before
+	// the next one, damping oscillation when the workload sits near a
+	// threshold.
+	cooldownWindows = 4
+	// migrateToOnlineChurn: mutation fraction above which a heavy engine
+	// should migrate to the online family (every mutation batch risks a
+	// full precomputation rebuild).
+	migrateToOnlineChurn = 0.02
+	// migrateToIndexChurn: mutation fraction below which a quiescent
+	// network may afford index builds.
+	migrateToIndexChurn = 0.001
+	// migrateToIndexLatency: flat-search EWMA (nanoseconds) above which a
+	// quiescent network is worth migrating to the join index — below it the
+	// online search is already near the index's query floor and the build
+	// would buy nothing.
+	migrateToIndexLatency = 20_000
+)
+
+// Planner accumulates routing statistics for one Network. It is shared by
+// every snapshot the network publishes, so the learned latencies and route
+// counters survive republication (unlike the snapshots themselves). All
+// counter methods are safe for concurrent use; Recommend and Migrated are
+// serialized by the facade's mutation lock.
+type Planner struct {
+	seq    atomic.Uint64
+	routes [numStrategies]atomic.Uint64
+	// ewma holds per-strategy observed latencies in nanoseconds (zero =
+	// never observed). Racing updates may drop an observation; the EWMA
+	// only steers heuristics, so lossy updates are fine.
+	ewma       [numStrategies]atomic.Uint64
+	migrations atomic.Uint64
+	cache      CacheCounters
+
+	// Migration bookkeeping, guarded by mu (Recommend runs under the
+	// facade's publication lock, but Stats readers race it).
+	mu          sync.Mutex
+	lastReads   uint64
+	lastMuts    uint64
+	sinceMigr   int
+	recommended Kind
+	hasRec      bool
+}
+
+// New returns an empty planner. It starts outside the migration cooldown:
+// the cooldown exists to damp oscillation between migrations, not to delay
+// the first one.
+func New() *Planner { return &Planner{sinceMigr: cooldownWindows} }
+
+// CacheCounters returns the decision-cache counter block snapshots share;
+// pass it to NewDecisionCache so hits survive snapshot turnover.
+func (p *Planner) CacheCounters() *CacheCounters { return &p.cache }
+
+// Next advances the routed-query sequence and reports whether this query
+// should be wall-clock timed.
+func (p *Planner) Next() (seq uint64, timed bool) {
+	seq = p.seq.Add(1)
+	return seq, seq%sampleEvery == 0
+}
+
+// Choose picks the execution strategy for one reachability query given the
+// primary engine kind and the first-step seed fan-outs of the forward and
+// reversed patterns. The audience-cache strategy is not chosen here — the
+// caller probes the cache first and only consults Choose on a miss.
+func (p *Planner) Choose(kind Kind, fwd, rev int) Strategy {
+	flat := StratFlatForward
+	if rev < fwd {
+		flat = StratFlatReverse
+	}
+	if !kind.Heavy() {
+		// The online family IS the flat search; only the endpoint matters.
+		return flat
+	}
+	prim, fl := p.ewma[StratPrimary].Load(), p.ewma[flat].Load()
+	// Explore any arm that has never been timed, then the losing arm on a
+	// fixed cadence, otherwise exploit the argmin.
+	switch {
+	case prim == 0:
+		return StratPrimary
+	case fl == 0:
+		return flat
+	case p.seq.Load()%exploreEvery == 0 && p.seq.Load() > 0:
+		if prim <= fl {
+			return flat
+		}
+		return StratPrimary
+	case fl < prim:
+		return flat
+	default:
+		return StratPrimary
+	}
+}
+
+// Route counts one query answered by s.
+func (p *Planner) Route(s Strategy) { p.routes[s].Add(1) }
+
+// Observe folds one timed execution of s into its latency EWMA.
+func (p *Planner) Observe(s Strategy, d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	if ns == 0 {
+		ns = 1
+	}
+	old := p.ewma[s].Load()
+	if old == 0 {
+		p.ewma[s].Store(ns)
+		return
+	}
+	p.ewma[s].Store(old - old>>ewmaShift + ns>>ewmaShift)
+}
+
+// EWMA returns the observed latency estimate for s in nanoseconds (zero
+// when the strategy has never been timed).
+func (p *Planner) EWMA(s Strategy) uint64 { return p.ewma[s].Load() }
+
+// Recommend reassesses the engine choice against the workload observed
+// since the last assessment window closed: reads and muts are the network's
+// cumulative read and mutation counters. It reports the kind the planner
+// would run and whether that is a change from cur. Call it under the
+// publication lock.
+func (p *Planner) Recommend(cur Kind, reads, muts uint64) (Kind, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	dr, dm := reads-p.lastReads, muts-p.lastMuts
+	if dr+dm < recommendWindow {
+		if !p.hasRec {
+			return cur, false
+		}
+		return p.recommended, p.recommended != cur
+	}
+	p.lastReads, p.lastMuts = reads, muts
+	p.sinceMigr++
+	rec := cur
+	mutFrac := float64(dm) / float64(dr+dm)
+	flatLat := p.ewma[StratFlatForward].Load()
+	if r := p.ewma[StratFlatReverse].Load(); r > flatLat {
+		flatLat = r
+	}
+	switch {
+	case cur.Heavy() && mutFrac >= migrateToOnlineChurn:
+		// Every mutation batch risks a full precomputation rebuild; the
+		// online engines advance for free.
+		rec = Online
+	case !cur.Heavy() && mutFrac <= migrateToIndexChurn && flatLat >= migrateToIndexLatency:
+		// Quiescent and traversal-bound: an index build amortizes.
+		rec = Index
+	}
+	p.recommended, p.hasRec = rec, true
+	if rec == cur || p.sinceMigr < cooldownWindows {
+		return rec, false
+	}
+	return rec, true
+}
+
+// Recommended returns the planner's current engine recommendation, false
+// before the first full assessment window.
+func (p *Planner) Recommended() (Kind, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.recommended, p.hasRec
+}
+
+// Migrated records that the facade applied a migration, starting the
+// cooldown and discarding the primary-strategy latency estimate (it
+// described the previous engine).
+func (p *Planner) Migrated(to Kind) {
+	p.mu.Lock()
+	p.sinceMigr = 0
+	p.recommended, p.hasRec = to, true
+	p.mu.Unlock()
+	p.migrations.Add(1)
+	p.ewma[StratPrimary].Store(0)
+}
+
+// Counters is a point-in-time snapshot of the planner's route and cache
+// tallies, in the shape Stats surfaces.
+type Counters struct {
+	RouteAudience    uint64
+	RouteFlatForward uint64
+	RouteFlatReverse uint64
+	RoutePrimary     uint64
+	Migrations       uint64
+	CacheHits        uint64
+	CacheMisses      uint64
+	CacheEvictions   uint64
+}
+
+// Counters collects the planner's tallies.
+func (p *Planner) Counters() Counters {
+	return Counters{
+		RouteAudience:    p.routes[StratAudience].Load(),
+		RouteFlatForward: p.routes[StratFlatForward].Load(),
+		RouteFlatReverse: p.routes[StratFlatReverse].Load(),
+		RoutePrimary:     p.routes[StratPrimary].Load(),
+		Migrations:       p.migrations.Load(),
+		CacheHits:        p.cache.hits.Load(),
+		CacheMisses:      p.cache.misses.Load(),
+		CacheEvictions:   p.cache.evictions.Load(),
+	}
+}

@@ -1,0 +1,336 @@
+package planner
+
+import (
+	"testing"
+	"time"
+
+	"reachac/internal/core"
+	"reachac/internal/graph"
+)
+
+func TestKindHeavy(t *testing.T) {
+	light := []Kind{Online, OnlineDFS, OnlineAdaptive}
+	heavy := []Kind{Closure, Index, IndexPaperJoin}
+	for _, k := range light {
+		if k.Heavy() {
+			t.Errorf("kind %d should not be heavy", k)
+		}
+	}
+	for _, k := range heavy {
+		if !k.Heavy() {
+			t.Errorf("kind %d should be heavy", k)
+		}
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	want := map[Strategy]string{
+		StratAudience:    "audience-cache",
+		StratFlatForward: "flat-forward",
+		StratFlatReverse: "flat-reverse",
+		StratPrimary:     "primary",
+		Strategy(99):     "unknown",
+	}
+	for s, name := range want {
+		if got := s.String(); got != name {
+			t.Errorf("Strategy(%d).String() = %q, want %q", s, got, name)
+		}
+	}
+}
+
+func TestChooseOnlinePicksCheaperEndpoint(t *testing.T) {
+	p := New()
+	if got := p.Choose(Online, 10, 3); got != StratFlatReverse {
+		t.Errorf("rev cheaper: got %v, want flat-reverse", got)
+	}
+	if got := p.Choose(Online, 3, 10); got != StratFlatForward {
+		t.Errorf("fwd cheaper: got %v, want flat-forward", got)
+	}
+	// Tie breaks forward (matches the old adaptive engine's bwd < fwd test).
+	if got := p.Choose(OnlineAdaptive, 5, 5); got != StratFlatForward {
+		t.Errorf("tie: got %v, want flat-forward", got)
+	}
+}
+
+func TestChooseHeavyExploresThenExploits(t *testing.T) {
+	p := New()
+	// Never-timed primary arm is explored first.
+	if got := p.Choose(Index, 10, 20); got != StratPrimary {
+		t.Errorf("untimed primary: got %v, want primary", got)
+	}
+	p.Observe(StratPrimary, 100*time.Microsecond)
+	// Then the never-timed flat arm.
+	if got := p.Choose(Index, 10, 20); got != StratFlatForward {
+		t.Errorf("untimed flat: got %v, want flat-forward", got)
+	}
+	p.Observe(StratFlatForward, 5*time.Microsecond)
+	// Both timed: exploit the argmin (flat is 20x cheaper here).
+	if got := p.Choose(Index, 10, 20); got != StratFlatForward {
+		t.Errorf("exploit: got %v, want flat-forward", got)
+	}
+	// Flip the estimates and the winner flips.
+	p.ewma[StratPrimary].Store(1000)
+	p.ewma[StratFlatForward].Store(50_000)
+	if got := p.Choose(Index, 10, 20); got != StratPrimary {
+		t.Errorf("exploit after flip: got %v, want primary", got)
+	}
+}
+
+func TestChooseHeavyExploreCadence(t *testing.T) {
+	p := New()
+	p.Observe(StratPrimary, time.Microsecond)
+	p.Observe(StratFlatForward, time.Millisecond)
+	explored := 0
+	for i := 0; i < 3*exploreEvery; i++ {
+		p.Next()
+		if p.Choose(Index, 1, 2) == StratFlatForward {
+			explored++
+		}
+	}
+	if explored != 3 {
+		t.Errorf("losing arm explored %d times over %d queries, want 3", explored, 3*exploreEvery)
+	}
+}
+
+func TestObserveEWMA(t *testing.T) {
+	p := New()
+	p.Observe(StratPrimary, 1000*time.Nanosecond)
+	if got := p.EWMA(StratPrimary); got != 1000 {
+		t.Fatalf("first observation: got %d, want 1000", got)
+	}
+	// old - old>>3 + ns>>3 = 1000 - 125 + 250 = 1125
+	p.Observe(StratPrimary, 2000*time.Nanosecond)
+	if got := p.EWMA(StratPrimary); got != 1125 {
+		t.Fatalf("second observation: got %d, want 1125", got)
+	}
+	// Sub-nanosecond durations clamp to 1 rather than resetting to "never".
+	q := New()
+	q.Observe(StratAudience, 0)
+	if got := q.EWMA(StratAudience); got != 1 {
+		t.Fatalf("zero-duration observation: got %d, want 1", got)
+	}
+}
+
+func TestNextTimingCadence(t *testing.T) {
+	p := New()
+	timedCount := 0
+	for i := 0; i < 2*sampleEvery; i++ {
+		if _, timed := p.Next(); timed {
+			timedCount++
+		}
+	}
+	if timedCount != 2 {
+		t.Errorf("timed %d of %d queries, want 2", timedCount, 2*sampleEvery)
+	}
+}
+
+func TestRecommendMigrateHeavyToOnlineUnderChurn(t *testing.T) {
+	p := New()
+	// Below a full window: no recommendation yet.
+	if rec, change := p.Recommend(Index, 10, 1); change || rec != Index {
+		t.Fatalf("short window: got (%v, %v), want (Index, false)", rec, change)
+	}
+	// 10%% mutations over a full window: heavy engine should go online.
+	rec, change := p.Recommend(Index, 900, 100)
+	if !change || rec != Online {
+		t.Fatalf("churny window: got (%v, %v), want (Online, true)", rec, change)
+	}
+	if got, ok := p.Recommended(); !ok || got != Online {
+		t.Fatalf("Recommended() = (%v, %v), want (Online, true)", got, ok)
+	}
+}
+
+func TestRecommendMigrateOnlineToIndexWhenQuiescent(t *testing.T) {
+	p := New()
+	p.Observe(StratFlatForward, time.Duration(2*migrateToIndexLatency))
+	rec, change := p.Recommend(Online, 10*recommendWindow, 0)
+	if !change || rec != Index {
+		t.Fatalf("quiescent slow-flat window: got (%v, %v), want (Index, true)", rec, change)
+	}
+	// A fast flat search is not worth an index build even when quiescent.
+	q := New()
+	q.Observe(StratFlatForward, 100*time.Nanosecond)
+	rec, change = q.Recommend(Online, 10*recommendWindow, 0)
+	if change || rec != Online {
+		t.Fatalf("quiescent fast-flat window: got (%v, %v), want (Online, false)", rec, change)
+	}
+}
+
+func TestRecommendCooldownAfterMigration(t *testing.T) {
+	p := New()
+	p.Migrated(Online)
+	p.Observe(StratFlatForward, time.Duration(2*migrateToIndexLatency))
+	reads := uint64(0)
+	// The first cooldownWindows-1 full windows may not trigger a change.
+	for w := 1; w < cooldownWindows; w++ {
+		reads += 10 * recommendWindow
+		if rec, change := p.Recommend(Online, reads, 0); change {
+			t.Fatalf("window %d inside cooldown: got (%v, true)", w, rec)
+		}
+	}
+	reads += 10 * recommendWindow
+	if rec, change := p.Recommend(Online, reads, 0); !change || rec != Index {
+		t.Fatalf("window after cooldown: got (%v, %v), want (Index, true)", rec, change)
+	}
+}
+
+func TestMigratedResetsPrimaryEWMA(t *testing.T) {
+	p := New()
+	p.Observe(StratPrimary, time.Millisecond)
+	p.Migrated(Index)
+	if got := p.EWMA(StratPrimary); got != 0 {
+		t.Errorf("primary EWMA after migration: got %d, want 0", got)
+	}
+	if got := p.Counters().Migrations; got != 1 {
+		t.Errorf("migrations: got %d, want 1", got)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	p := New()
+	p.Route(StratAudience)
+	p.Route(StratAudience)
+	p.Route(StratFlatForward)
+	p.Route(StratFlatReverse)
+	p.Route(StratPrimary)
+	c := p.Counters()
+	if c.RouteAudience != 2 || c.RouteFlatForward != 1 || c.RouteFlatReverse != 1 || c.RoutePrimary != 1 {
+		t.Errorf("route counters = %+v", c)
+	}
+}
+
+// --- DecisionCache ---
+
+func labelsByResource(m map[core.ResourceID][]string) func(core.ResourceID) []string {
+	return func(r core.ResourceID) []string { return m[r] }
+}
+
+func allow(rule string) core.Decision {
+	return core.Decision{Effect: core.Allow, RuleID: rule}
+}
+
+func deny() core.Decision {
+	return core.Decision{Effect: core.Deny, Reason: "no access rule satisfied"}
+}
+
+func TestDecisionCacheGetPut(t *testing.T) {
+	c := NewDecisionCache(labelsByResource(map[core.ResourceID][]string{
+		"album": {"friend"},
+	}), nil)
+	if _, ok := c.Get("album", 1); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	c.Put("album", 1, allow("r1"))
+	d, ok := c.Get("album", 1)
+	if !ok || d.Effect != core.Allow || d.RuleID != "r1" {
+		t.Fatalf("Get after Put: got (%+v, %v)", d, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	// Re-Put of the same key does not double-count.
+	c.Put("album", 1, allow("r1"))
+	if c.Len() != 1 {
+		t.Fatalf("Len after duplicate Put = %d, want 1", c.Len())
+	}
+}
+
+func TestDecisionCacheAdvanceEvictions(t *testing.T) {
+	labels := map[core.ResourceID][]string{
+		"album": {"friend", "colleague"},
+		"doc":   {"parent"},
+	}
+	addFriend := []graph.Delta{{Op: graph.OpAddEdge, From: 1, To: 2, Label: "friend"}}
+	rmFriend := []graph.Delta{{Op: graph.OpRemoveEdge, From: 1, To: 2, Label: "friend"}}
+
+	t.Run("add evicts intersecting denies only", func(t *testing.T) {
+		c := NewDecisionCache(labelsByResource(labels), nil)
+		c.Put("album", 1, deny())      // friend ∈ tag → evicted
+		c.Put("doc", 2, deny())        // parent ∉ {friend} → survives
+		c.Put("album", 3, allow("r1")) // adds never evict allows
+		c.Advance(addFriend)
+		if _, ok := c.Get("album", 1); ok {
+			t.Error("intersecting Deny survived an edge add")
+		}
+		if _, ok := c.Get("doc", 2); !ok {
+			t.Error("non-intersecting Deny was evicted")
+		}
+		if _, ok := c.Get("album", 3); !ok {
+			t.Error("Allow was evicted by an edge add")
+		}
+		if c.Len() != 2 {
+			t.Errorf("Len = %d, want 2", c.Len())
+		}
+	})
+
+	t.Run("remove evicts intersecting allows only", func(t *testing.T) {
+		c := NewDecisionCache(labelsByResource(labels), nil)
+		c.Put("album", 1, allow("r1"))    // friend ∈ tag → evicted
+		c.Put("doc", 2, allow("r2"))      // parent ∉ {friend} → survives
+		c.Put("album", 3, deny())         // removes never evict denies
+		c.Put("album", 4, allow("owner")) // owner grants are edge-proof
+		c.Advance(rmFriend)
+		if _, ok := c.Get("album", 1); ok {
+			t.Error("intersecting Allow survived an edge remove")
+		}
+		if _, ok := c.Get("doc", 2); !ok {
+			t.Error("non-intersecting Allow was evicted")
+		}
+		if _, ok := c.Get("album", 3); !ok {
+			t.Error("Deny was evicted by an edge remove")
+		}
+		if _, ok := c.Get("album", 4); !ok {
+			t.Error("owner Allow was evicted by an edge remove")
+		}
+	})
+
+	t.Run("node add and compact evict nothing", func(t *testing.T) {
+		c := NewDecisionCache(labelsByResource(labels), nil)
+		c.Put("album", 1, deny())
+		c.Put("album", 2, allow("r1"))
+		c.Advance([]graph.Delta{{Op: graph.OpAddNode, Name: "x"}, {Op: graph.OpCompact}})
+		if c.Len() != 2 {
+			t.Errorf("Len = %d, want 2", c.Len())
+		}
+	})
+
+	t.Run("unknown resource deny is never graph-evicted", func(t *testing.T) {
+		c := NewDecisionCache(labelsByResource(labels), nil)
+		c.Put("ghost", 1, deny()) // empty tag
+		c.Advance(addFriend)
+		c.Advance(rmFriend)
+		if _, ok := c.Get("ghost", 1); !ok {
+			t.Error("empty-tag Deny was evicted")
+		}
+	})
+}
+
+func TestDecisionCacheCounters(t *testing.T) {
+	p := New()
+	c := NewDecisionCache(labelsByResource(map[core.ResourceID][]string{
+		"album": {"friend"},
+	}), p.CacheCounters())
+	c.Get("album", 1) // miss
+	c.Put("album", 1, deny())
+	c.Get("album", 1)                                                // hit
+	c.Advance([]graph.Delta{{Op: graph.OpAddEdge, Label: "friend"}}) // evict
+	got := p.Counters()
+	if got.CacheHits != 1 || got.CacheMisses != 1 || got.CacheEvictions != 1 {
+		t.Errorf("cache counters = %+v, want 1/1/1", got)
+	}
+	// A successor cache sharing the counter block keeps accumulating.
+	c2 := NewDecisionCache(labelsByResource(nil), p.CacheCounters())
+	c2.Get("album", 1)
+	if got := p.Counters(); got.CacheMisses != 2 {
+		t.Errorf("misses after successor cache = %d, want 2", got.CacheMisses)
+	}
+}
+
+func TestAppendLabelDedups(t *testing.T) {
+	set := appendLabel(nil, "a")
+	set = appendLabel(set, "b")
+	set = appendLabel(set, "a")
+	if len(set) != 2 {
+		t.Errorf("set = %v, want [a b]", set)
+	}
+}

@@ -11,6 +11,10 @@ import (
 // out to millions while the requester side stays in the tens; evaluating
 // the reversed pattern (pathexpr.Reverse) from the requester bounds the
 // frontier by the smaller cone. Decisions are identical to Reachable.
+//
+// It is a thin shim over the planner cost hooks in route.go: RouteCosts
+// supplies the per-endpoint seed counts and ReachableReverse executes the
+// (plan-cached) reversed pattern.
 func (e *Engine) ReachableAdaptive(owner, requester graph.NodeID, p *pathexpr.Path) (bool, error) {
 	if err := p.Validate(); err != nil {
 		return false, err
@@ -19,56 +23,14 @@ func (e *Engine) ReachableAdaptive(owner, requester graph.NodeID, p *pathexpr.Pa
 		// Delegate for uniform error wording.
 		return e.Reachable(owner, requester, p)
 	}
-	fwdSeeds := e.seedCount(owner, p.Steps[0])
-	rev, srcPreds := pathexpr.Reverse(p)
-	bwdSeeds := e.seedCount(requester, rev.Steps[0])
-	if bwdSeeds < fwdSeeds {
-		for _, pr := range srcPreds {
-			if !pr.Eval(e.g.Node(requester).Attrs) {
-				return false, nil
-			}
-		}
-		return e.Reachable(requester, owner, rev)
+	fwd, rev, err := e.RouteCosts(owner, requester, p)
+	if err != nil {
+		return false, err
+	}
+	if rev < fwd {
+		return e.ReachableReverse(owner, requester, p)
 	}
 	return e.Reachable(owner, requester, p)
-}
-
-// seedCount counts the traversals of node n admitted as a first edge of
-// step s (label and orientation only; predicates do not affect fan-out).
-// With a fresh CSR the counts are O(1) run-length reads.
-func (e *Engine) seedCount(n graph.NodeID, s pathexpr.Step) int {
-	label, ok := e.g.LookupLabel(s.Label)
-	if !ok {
-		return 0
-	}
-	if c := e.g.FreshCSR(); c != nil {
-		count := 0
-		if s.Dir == pathexpr.Out || s.Dir == pathexpr.Both {
-			count += len(c.OutNeighbors(n, label))
-		}
-		if s.Dir == pathexpr.In || s.Dir == pathexpr.Both {
-			count += len(c.InNeighbors(n, label))
-		}
-		return count
-	}
-	count := 0
-	if s.Dir == pathexpr.Out || s.Dir == pathexpr.Both {
-		e.g.OutEdges(n, func(edge graph.Edge) bool {
-			if edge.Label == label {
-				count++
-			}
-			return true
-		})
-	}
-	if s.Dir == pathexpr.In || s.Dir == pathexpr.Both {
-		e.g.InEdges(n, func(edge graph.Edge) bool {
-			if edge.Label == label {
-				count++
-			}
-			return true
-		})
-	}
-	return count
 }
 
 // Adaptive wraps an Engine so that its Reachable method uses adaptive

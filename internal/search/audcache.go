@@ -28,7 +28,7 @@ import (
 // guarantee quiescence (the publisher's contract for a retired snapshot).
 type AudienceCache struct {
 	e  *Engine
-	mu sync.Mutex
+	mu sync.RWMutex
 	// entries is keyed by owner and canonical path text.
 	entries map[audKey]*audEntry
 	// frontier is the reusable expansion queue for Advance.
@@ -66,11 +66,43 @@ func NewAudienceCache(g *graph.Graph) *AudienceCache {
 // Graph returns the graph the cache reads.
 func (ac *AudienceCache) Graph() *graph.Graph { return ac.e.g }
 
+// Engine returns the online search engine the cache runs on. The planner's
+// routed evaluator uses it to execute flat searches against the same graph
+// clone (and the same warmed plan cache) the audience cache reads.
+func (ac *AudienceCache) Engine() *Engine { return ac.e }
+
 // Len returns the number of cached audience entries.
 func (ac *AudienceCache) Len() int {
-	ac.mu.Lock()
-	defer ac.mu.Unlock()
+	ac.mu.RLock()
+	defer ac.mu.RUnlock()
 	return len(ac.entries)
+}
+
+// Peek answers Reachable(owner, requester, p) from an already-materialized
+// audience entry: a map probe plus one bitset test, allocation-free. It
+// never computes on a miss — ok=false means the caller must evaluate some
+// other way. A dirty entry is still served (only the sorted materialization
+// is stale, the membership bitset is the current fixpoint).
+func (ac *AudienceCache) Peek(owner, requester graph.NodeID, p *pathexpr.Path) (member, ok bool) {
+	g := ac.e.g
+	if !g.ValidNode(owner) || !g.ValidNode(requester) {
+		return false, false
+	}
+	c, err := ac.e.plan(p)
+	if err != nil {
+		return false, false
+	}
+	ac.mu.RLock()
+	defer ac.mu.RUnlock()
+	ent, exists := ac.entries[audKey{owner, c.str}]
+	if !exists || (ent.c.anyMissing && ent.c.labelsLen != g.NumLabels()) {
+		return false, false
+	}
+	w := int(requester >> 6)
+	if w >= len(ent.member) {
+		return false, false
+	}
+	return ent.member[w]&(1<<(requester&63)) != 0, true
 }
 
 // Audience returns the set of members reachable from owner through a path

@@ -33,6 +33,12 @@ type compiled struct {
 	anyMissing bool
 	// str is the canonical path text, cached for audience-cache keys.
 	str string
+	// rev and revPreds cache pathexpr.Reverse(p) so reverse-endpoint
+	// execution (route.go) pays the reversal allocation once per plan, not
+	// per query. rev is a stable pointer, so its own compiled form is
+	// plan-cached like any rule path.
+	rev      *pathexpr.Path
+	revPreds []pathexpr.Pred
 }
 
 // maxFlatStates bounds node*states products (in bits) served by the flat
@@ -46,11 +52,14 @@ func newCompiled(g *graph.Graph, p *pathexpr.Path) (*compiled, error) {
 	if err != nil {
 		return nil, err
 	}
+	rev, revPreds := pathexpr.Reverse(p)
 	c := &compiled{
 		steps:     steps,
 		stepBase:  make([]int32, len(steps)),
 		labelsLen: g.NumLabels(),
 		str:       p.String(),
+		rev:       rev,
+		revPreds:  revPreds,
 	}
 	var s int32
 	for i := range steps {

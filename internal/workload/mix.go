@@ -89,6 +89,12 @@ func Mixes() []Mix {
 		{Name: "check-batch", CheckBatch: 1.0, BatchSize: 16},
 		{Name: "audience-scan", Audience: 0.75, Check: 0.25},
 		{Name: "churn", Check: 0.50, Churn: 0.50},
+		// mixed-shape interleaves cheap star-shaped point checks with deep
+		// multi-step audience enumerations under relationship churn — the
+		// regime where no single static engine wins and per-query routing
+		// (audience-cache probes for repeat checks, endpoint selection for
+		// the rest) should: planner wins and regressions both land here.
+		{Name: "mixed-shape", Check: 0.55, CheckBatch: 0.10, Audience: 0.20, Mutate: 0.10, Churn: 0.05},
 	}
 }
 

@@ -1,0 +1,113 @@
+package reachac
+
+import (
+	"fmt"
+	"testing"
+)
+
+// churnNetwork builds a small social network, selects the Closure engine
+// (heavy: every mutation risks a full precompute rebuild) and then runs a
+// mutation-heavy read/write trace long enough to close at least one of the
+// planner's assessment windows.
+func churnNetwork(t *testing.T, opts ...Option) *Network {
+	t.Helper()
+	n := New(opts...)
+	const members = 16
+	ids := make([]UserID, members)
+	for i := range ids {
+		ids[i] = n.MustAddUser(fmt.Sprintf("m%02d", i))
+	}
+	for i := 0; i < members; i++ {
+		if err := n.Relate(ids[i], ids[(i+1)%members], "friend"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := n.Share("album", ids[0], "friend+[1,3]"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.UseEngine(Closure); err != nil {
+		t.Fatal(err)
+	}
+	// ~25 reads per mutation: a 4% mutation fraction, over twice the
+	// planner's migrate-to-online churn threshold, across several windows.
+	for i := 0; i < 1600; i++ {
+		if i%25 == 24 {
+			var err error
+			if (i/25)%2 == 0 {
+				err = n.Relate(ids[1], ids[9], "colleague")
+			} else {
+				err = n.Unrelate(ids[1], ids[9], "colleague")
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := n.CanAccess("album", ids[i%members]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n
+}
+
+// TestPlannerAutoMigrate drives a churn-heavy workload on a heavy engine
+// with auto-migration enabled and asserts the planner migrated the whole
+// network to the online family, with the migration visible in Stats.
+func TestPlannerAutoMigrate(t *testing.T) {
+	n := churnNetwork(t, WithPlanner(PlannerOptions{AutoMigrate: true}))
+	st := n.Stats()
+	if st.PlannerMigrations == 0 {
+		t.Fatalf("no migration applied under sustained churn: %+v", st)
+	}
+	if st.Engine != Online.String() {
+		t.Fatalf("engine after migration = %q, want %q", st.Engine, Online.String())
+	}
+	if st.PlannerRecommended != Online.String() {
+		t.Fatalf("recommended = %q, want %q", st.PlannerRecommended, Online.String())
+	}
+	// Decisions keep flowing on the migrated engine.
+	if _, err := n.CanAccess("album", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlannerRecommendObservability runs the same churn trace without
+// auto-migration: the engine must stay put while the recommendation is
+// surfaced through Stats as pure observability.
+func TestPlannerRecommendObservability(t *testing.T) {
+	n := churnNetwork(t, WithPlanner(PlannerOptions{}))
+	st := n.Stats()
+	if st.PlannerMigrations != 0 {
+		t.Fatalf("migration applied without AutoMigrate: %+v", st)
+	}
+	if st.Engine != Closure.String() {
+		t.Fatalf("engine = %q, want %q (static)", st.Engine, Closure.String())
+	}
+	if st.PlannerRecommended != Online.String() {
+		t.Fatalf("recommended = %q, want %q", st.PlannerRecommended, Online.String())
+	}
+	routes := st.PlannerRouteAudience + st.PlannerRouteFlatForward +
+		st.PlannerRouteFlatReverse + st.PlannerRoutePrimary
+	if routes == 0 {
+		t.Fatal("no routed queries recorded")
+	}
+}
+
+// TestPlannerKindOrdinalsMatch pins the ordinal correspondence the facade
+// relies on when converting between EngineKind and planner.Kind.
+func TestPlannerKindOrdinalsMatch(t *testing.T) {
+	pairs := []struct {
+		k EngineKind
+		s string
+	}{
+		{Online, "online-bfs"}, {OnlineDFS, "online-dfs"}, {OnlineAdaptive, "online-adaptive"},
+		{Closure, "closure"}, {Index, "join-index"}, {IndexPaperJoin, "join-index-paper"},
+	}
+	for i, p := range pairs {
+		if int(p.k) != i {
+			t.Fatalf("EngineKind %s ordinal = %d, want %d", p.s, int(p.k), i)
+		}
+		if p.k.String() != p.s {
+			t.Fatalf("EngineKind %d = %q, want %q", i, p.k.String(), p.s)
+		}
+	}
+}

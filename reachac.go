@@ -10,6 +10,7 @@ import (
 	"reachac/internal/core"
 	"reachac/internal/graph"
 	"reachac/internal/pathexpr"
+	"reachac/internal/planner"
 	"reachac/internal/wal"
 )
 
@@ -155,18 +156,43 @@ type Network struct {
 	ckptMu     sync.Mutex
 	ckptErr    error
 
+	// planner accumulates routing statistics and owns the decision-cache
+	// counters; it lives as long as the network, surviving snapshot
+	// republication. route enables per-query cost-based routing and
+	// autoMigrate lets publication apply the planner's whole-network
+	// engine recommendations (both set by WithPlanner; the decision cache
+	// itself is always on).
+	planner     *planner.Planner
+	route       bool
+	autoMigrate bool
+
 	// ctr tallies operations for Stats.
 	ctr counters
 }
 
-// New returns an empty network using the Online engine.
-func New() *Network {
-	return newNetwork(graph.New(), core.NewStore())
+// New returns an empty network using the Online engine. Options are the
+// same as Open's; WAL-specific ones (sync policy, checkpoint cadence) have
+// no effect on a non-durable network.
+func New(opts ...Option) *Network {
+	return newNetwork(graph.New(), core.NewStore()).applyOptions(opts)
 }
 
 func newNetwork(g *graph.Graph, store *core.Store) *Network {
-	n := &Network{g: g, kind: Online, audit: core.NewAuditLog(0)}
+	n := &Network{g: g, kind: Online, audit: core.NewAuditLog(0), planner: planner.New()}
 	n.store.Store(store)
+	return n
+}
+
+// applyOptions folds constructor options into a fresh (not yet shared)
+// network.
+func (n *Network) applyOptions(opts []Option) *Network {
+	cfg := openConfig{kind: n.kind}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	n.kind = cfg.kind
+	n.route = cfg.route
+	n.autoMigrate = cfg.planner.AutoMigrate
 	return n
 }
 
@@ -300,8 +326,9 @@ func LoadState(r io.Reader) (*Network, error) {
 
 // FromGraph wraps an existing social graph (used by the command-line tools
 // and benchmarks; the graph must not be mutated externally afterwards).
-func FromGraph(g *graph.Graph) *Network {
-	return newNetwork(g, core.NewStore())
+// Options are the same as New's.
+func FromGraph(g *graph.Graph, opts ...Option) *Network {
+	return newNetwork(g, core.NewStore()).applyOptions(opts)
 }
 
 // Graph exposes the underlying master graph for inspection. Mutating it
@@ -432,7 +459,7 @@ func (n *Network) CheckPath(owner, requester UserID, expr string) (bool, error) 
 	}
 	defer s.release()
 	n.ctr.checks.Add(1)
-	return s.eval.Reachable(owner, requester, p)
+	return s.reval.Reachable(owner, requester, p)
 }
 
 // Audit returns the retained decision trail. The trail is shared across

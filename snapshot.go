@@ -9,6 +9,7 @@ import (
 	"reachac/internal/core"
 	"reachac/internal/graph"
 	"reachac/internal/joinindex"
+	"reachac/internal/planner"
 	"reachac/internal/search"
 	"reachac/internal/tclosure"
 )
@@ -23,7 +24,12 @@ type snapshot struct {
 	// the snapshot is built, so evaluators may traverse it lock-free.
 	g    *graph.Graph
 	kind EngineKind
+	// eval is the raw primary evaluator of the selected kind; delta advances
+	// (core.IncrementalEvaluator) talk to it directly.
 	eval Evaluator
+	// reval is the evaluator reads run on: the planner's routed wrapper when
+	// routing is enabled (see routedEval), otherwise eval itself.
+	reval Evaluator
 	// store is the frozen policy view (a Store clone); engine decides
 	// against it, so concurrent Share/Revoke cannot change the rules a
 	// reader observes mid-decision.
@@ -40,14 +46,14 @@ type snapshot struct {
 	version uint64
 	src     *core.Store
 	gen     uint64
-	// cache memoizes decisions per (resource, requester). It lives and
-	// dies with the snapshot: any graph or policy change publishes a new
-	// snapshot with an empty cache, so no fine-grained invalidation is
-	// ever needed. cacheLen bounds it (see maxCachedDecisions) so a
-	// long-lived snapshot on a quiescent network cannot grow without
-	// limit.
-	cache    sync.Map
-	cacheLen atomic.Int64
+	// dcache memoizes decisions per (resource, requester) with per-delta
+	// label-tagged invalidation (see planner.DecisionCache). Unlike its
+	// drop-wholesale predecessor it survives graph mutations: a delta
+	// advance carries it to the next snapshot, evicting only the entries
+	// whose label tags intersect the delta. A policy change (different
+	// store generation) starts a fresh cache, because the tags themselves
+	// derive from the rules.
+	dcache *planner.DecisionCache
 	// refs counts in-flight readers of the snapshot's graph clone. It is a
 	// pointer because a policy-only republication shares the previous
 	// snapshot's clone — the counter must then be shared too, so that a
@@ -80,17 +86,6 @@ func (s *snapshot) acquire() bool {
 // release unpins the snapshot after a read operation.
 func (s *snapshot) release() { s.refs.Add(-1) }
 
-// maxCachedDecisions caps one snapshot's decision cache. Entries beyond the
-// cap are decided but not memoized; the cap is generous because an entry is
-// small and the cache empties at every graph or policy change.
-const maxCachedDecisions = 1 << 20
-
-// decisionKey identifies one cached access decision.
-type decisionKey struct {
-	res core.ResourceID
-	req UserID
-}
-
 // current reports whether the snapshot still reflects the live network
 // state. The graph version and policy generation are both read from atomic
 // counters, so this check is lock-free.
@@ -99,22 +94,45 @@ func (s *snapshot) current(g *graph.Graph, store *core.Store) bool {
 }
 
 // decide answers one access request against the snapshot, serving repeats
-// from the decision cache. Cached hits do not re-enter the audit trail.
+// from the decision cache. Cached hits do not re-enter the audit trail. A
+// surviving entry (carried across a delta advance) preserves the decision's
+// Effect; its RuleID/Reason may name a different rule than a fresh
+// evaluation would (see planner.DecisionCache).
 func (s *snapshot) decide(res core.ResourceID, requester UserID) (Decision, error) {
-	k := decisionKey{res, requester}
-	if v, ok := s.cache.Load(k); ok {
-		return v.(Decision), nil
+	if d, ok := s.dcache.Get(res, requester); ok {
+		return d, nil
 	}
 	d, err := s.engine.Decide(res, requester)
 	if err != nil {
 		return Decision{}, err
 	}
-	if s.cacheLen.Load() < maxCachedDecisions {
-		if _, loaded := s.cache.LoadOrStore(k, d); !loaded {
-			s.cacheLen.Add(1)
-		}
-	}
+	s.dcache.Put(res, requester, d)
 	return d, nil
+}
+
+// labelsForStore builds the decision cache's tag resolver over one frozen
+// policy view: the union of label names the resource's rules constrain on.
+// An unregistered resource resolves to an empty tag, so its "unknown
+// resource" denial is never evicted by graph deltas (registration is a
+// policy change, which starts a fresh cache anyway).
+func labelsForStore(view *core.Store) func(core.ResourceID) []string {
+	return func(res core.ResourceID) []string {
+		var labels []string
+		for _, r := range view.RulesFor(res) {
+			for _, c := range r.Conditions {
+			steps:
+				for _, st := range c.Path.Steps {
+					for _, l := range labels {
+						if l == st.Label {
+							continue steps
+						}
+					}
+					labels = append(labels, st.Label)
+				}
+			}
+		}
+		return labels
+	}
 }
 
 // buildEvaluator constructs the evaluator of the given kind over g, which
@@ -198,6 +216,18 @@ const compactMinDead = 64
 //     referenced, the delta window was trimmed, or the evaluator declines
 //     the batch.
 func (n *Network) publishLocked() (*snapshot, error) {
+	// Reassess the engine choice first. The recommendation is always
+	// computed (it surfaces through Stats as observability); with
+	// auto-migration enabled it also changes n.kind before the tier checks
+	// below, so the migration rides the publication that observed it.
+	if n.route {
+		reads := n.ctr.checks.Load() + n.ctr.audiences.Load()
+		muts := n.ctr.mutations.Load()
+		if rec, ok := n.planner.Recommend(planner.Kind(n.kind), reads, muts); ok && n.autoMigrate {
+			n.kind = EngineKind(rec)
+			n.planner.Migrated(rec)
+		}
+	}
 	store := n.store.Load()
 	cur := n.snap.Load()
 	if cur == nil || cur.version != n.g.Version() {
@@ -220,14 +250,16 @@ func (n *Network) publishLocked() (*snapshot, error) {
 		gc   *graph.Graph
 		eval Evaluator
 		aud  *search.AudienceCache
+		dc   *planner.DecisionCache
 		refs *atomic.Int64
 	)
 	if cur != nil && cur.version == gv && cur.kind == n.kind {
 		// Policy-only change: share the clone, evaluator, audience cache
-		// and reader count.
+		// and reader count. The decision cache starts fresh — its label
+		// tags derive from the rules that just changed.
 		gc, eval, aud, refs = cur.g, cur.eval, cur.aud, cur.refs
-	} else if agc, aeval, aaud := n.advanceSpareLocked(cur); agc != nil {
-		gc, eval, aud = agc, aeval, aaud
+	} else if agc, aeval, aaud, adc := n.advanceSpareLocked(cur, store, gen); agc != nil {
+		gc, eval, aud, dc = agc, aeval, aaud, adc
 	}
 	if gc == nil {
 		gc = n.g.Clone()
@@ -249,13 +281,30 @@ func (n *Network) publishLocked() (*snapshot, error) {
 		refs = new(atomic.Int64)
 	}
 	view := store.Clone()
+	if dc == nil {
+		dc = planner.NewDecisionCache(labelsForStore(view), n.planner.CacheCounters())
+	}
+	// The routed wrapper is rebuilt per publication (it is a tiny struct):
+	// the primary evaluator or audience cache underneath may have changed.
+	reval := eval
+	if n.route {
+		reval = &routedEval{
+			pl:      n.planner,
+			primary: eval,
+			online:  aud.Engine(),
+			aud:     aud,
+			kind:    planner.Kind(n.kind),
+		}
+	}
 	s := &snapshot{
 		g:       gc,
 		kind:    n.kind,
 		eval:    eval,
+		reval:   reval,
 		aud:     aud,
 		store:   view,
-		engine:  core.NewEngineWithLog(view, eval, n.audit),
+		engine:  core.NewEngineWithLog(view, reval, n.audit),
+		dcache:  dc,
 		version: gv,
 		src:     store,
 		gen:     gen,
@@ -279,31 +328,34 @@ func (n *Network) publishLocked() (*snapshot, error) {
 // advanceSpareLocked tries to satisfy a publication by fast-forwarding the
 // retired spare snapshot's private clone to the master's current version —
 // replaying the bounded delta log at O(Δ) instead of paying the O(V+E)
-// re-clone — and advancing its evaluator and audience cache in place when
-// possible. It returns nils when no spare is stealable: none exists,
-// readers still hold it, or the delta window has been trimmed past its
-// version. Callers must hold n.mu.
-func (n *Network) advanceSpareLocked(cur *snapshot) (*graph.Graph, Evaluator, *search.AudienceCache) {
+// re-clone — and advancing its evaluator, audience cache and decision cache
+// in place when possible. store and gen identify the policy state being
+// published: the decision cache is carried forward only when the spare was
+// built against the same policy generation (its label tags derive from the
+// rules). It returns nils when no spare is stealable: none exists, readers
+// still hold it, or the delta window has been trimmed past its version.
+// Callers must hold n.mu.
+func (n *Network) advanceSpareLocked(cur *snapshot, store *core.Store, gen uint64) (*graph.Graph, Evaluator, *search.AudienceCache, *planner.DecisionCache) {
 	spare := n.spare
 	if spare == nil {
-		return nil, nil, nil
+		return nil, nil, nil, nil
 	}
 	if cur != nil && cur.g == spare.g {
 		// Defensive: never advance a clone the published snapshot shares.
 		n.spare = nil
-		return nil, nil, nil
+		return nil, nil, nil, nil
 	}
 	if spare.refs.Load() != 0 {
 		// A reader still traverses the clone; keep the spare for a later
 		// publication and fall back to a full rebuild now.
-		return nil, nil, nil
+		return nil, nil, nil, nil
 	}
 	deltas, ok := n.g.ChangesSince(spare.version)
 	if !ok {
 		// The window no longer reaches back; the spare can only fall
 		// further behind, so drop it.
 		n.spare = nil
-		return nil, nil, nil
+		return nil, nil, nil, nil
 	}
 	// The spare is consumed either way: on any failure below its clone is
 	// partially advanced and must never be reused.
@@ -311,10 +363,10 @@ func (n *Network) advanceSpareLocked(cur *snapshot) (*graph.Graph, Evaluator, *s
 	gc := spare.g
 	for _, d := range deltas {
 		if err := gc.Apply(d); err != nil {
-			return nil, nil, nil
+			return nil, nil, nil, nil
 		}
 	}
-	// The clone is fully advanced, so the audience cache can follow it
+	// The clone is fully advanced, so the caches can follow it
 	// incrementally; the spare being unobserved guarantees the quiescence
 	// Advance requires.
 	aud := spare.aud
@@ -323,18 +375,26 @@ func (n *Network) advanceSpareLocked(cur *snapshot) (*graph.Graph, Evaluator, *s
 	} else {
 		aud.Advance(deltas)
 	}
+	// Carry the warm decision cache iff the policy is unchanged since the
+	// spare was built: Advance evicts exactly the entries the delta batch
+	// could have flipped, so everything else keeps serving.
+	var dc *planner.DecisionCache
+	if spare.dcache != nil && spare.src == store && spare.gen == gen {
+		dc = spare.dcache
+		dc.Advance(deltas)
+	}
 	if spare.kind == n.kind {
 		if inc, isInc := spare.eval.(core.IncrementalEvaluator); isInc && inc.ApplyDelta(gc, deltas) {
-			return gc, spare.eval, aud
+			return gc, spare.eval, aud, dc
 		}
 	}
 	// Evaluator declined (or the engine kind changed): the advanced clone
 	// is still sound, rebuild only the evaluator over it.
 	eval, err := buildEvaluator(n.kind, gc)
 	if err != nil {
-		return nil, nil, nil
+		return nil, nil, nil, nil
 	}
-	return gc, eval, aud
+	return gc, eval, aud, dc
 }
 
 // CanAccessAll decides access to one resource for many requesters in a

@@ -34,6 +34,26 @@ type Stats struct {
 	// reader pays after a change).
 	Republications uint64 `json:"republications"`
 
+	// DecisionCacheHits/Misses count decision-cache lookups across every
+	// snapshot's cache (the counter block is network-lifetime);
+	// DecisionCacheEvictions counts entries dropped by per-delta label
+	// intersection when a cache is carried across a graph mutation.
+	DecisionCacheHits      uint64 `json:"decision_cache_hits"`
+	DecisionCacheMisses    uint64 `json:"decision_cache_misses"`
+	DecisionCacheEvictions uint64 `json:"decision_cache_evictions"`
+
+	// PlannerRoute* count reachability queries answered per strategy when
+	// planner routing is enabled (WithPlanner); all zero otherwise.
+	// PlannerMigrations counts applied whole-network engine migrations and
+	// PlannerRecommended names the planner's current engine recommendation
+	// (empty before the first assessment window, and without WithPlanner).
+	PlannerRouteAudience    uint64 `json:"planner_route_audience"`
+	PlannerRouteFlatForward uint64 `json:"planner_route_flat_forward"`
+	PlannerRouteFlatReverse uint64 `json:"planner_route_flat_reverse"`
+	PlannerRoutePrimary     uint64 `json:"planner_route_primary"`
+	PlannerMigrations       uint64 `json:"planner_migrations"`
+	PlannerRecommended      string `json:"planner_recommended,omitempty"`
+
 	// Checkpoints counts checkpoints taken; CheckpointsSkipped counts
 	// Checkpoint calls satisfied as no-ops because the log was already fully
 	// covered by the last checkpoint.
@@ -68,6 +88,14 @@ func (s Stats) Delta(prev Stats) Stats {
 	d.Mutations -= prev.Mutations
 	d.Batches -= prev.Batches
 	d.Republications -= prev.Republications
+	d.DecisionCacheHits -= prev.DecisionCacheHits
+	d.DecisionCacheMisses -= prev.DecisionCacheMisses
+	d.DecisionCacheEvictions -= prev.DecisionCacheEvictions
+	d.PlannerRouteAudience -= prev.PlannerRouteAudience
+	d.PlannerRouteFlatForward -= prev.PlannerRouteFlatForward
+	d.PlannerRouteFlatReverse -= prev.PlannerRouteFlatReverse
+	d.PlannerRoutePrimary -= prev.PlannerRoutePrimary
+	d.PlannerMigrations -= prev.PlannerMigrations
 	d.Checkpoints -= prev.Checkpoints
 	d.CheckpointsSkipped -= prev.CheckpointsSkipped
 	d.WALAppends -= prev.WALAppends
@@ -110,6 +138,18 @@ func (n *Network) Stats() Stats {
 		Checkpoints:        n.ctr.ckptTaken.Load(),
 		CheckpointsSkipped: n.ctr.ckptSkipped.Load(),
 		AuditRetained:      n.audit.Len(),
+	}
+	pc := n.planner.Counters()
+	st.DecisionCacheHits = pc.CacheHits
+	st.DecisionCacheMisses = pc.CacheMisses
+	st.DecisionCacheEvictions = pc.CacheEvictions
+	st.PlannerRouteAudience = pc.RouteAudience
+	st.PlannerRouteFlatForward = pc.RouteFlatForward
+	st.PlannerRouteFlatReverse = pc.RouteFlatReverse
+	st.PlannerRoutePrimary = pc.RoutePrimary
+	st.PlannerMigrations = pc.Migrations
+	if rec, ok := n.planner.Recommended(); ok {
+		st.PlannerRecommended = EngineKind(rec).String()
 	}
 	if n.wal != nil {
 		st.WALAppends = n.wal.Appends()

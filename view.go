@@ -82,7 +82,7 @@ func (v *View) CheckPath(owner, requester UserID, expr string) (bool, error) {
 		return false, err
 	}
 	v.n.ctr.checks.Add(1)
-	return v.s.eval.Reachable(owner, requester, p)
+	return v.s.reval.Reachable(owner, requester, p)
 }
 
 // Audience is Network.Audience against the pinned snapshot.
