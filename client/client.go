@@ -19,6 +19,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"reachac"
@@ -96,6 +97,9 @@ func WithHTTPClient(h *http.Client) Option {
 type Client struct {
 	base string
 	http *http.Client
+	// staleMS is the replica-staleness bound the most recent response
+	// carried (see httpapi.HeaderStaleness); -1 until a follower answers.
+	staleMS atomic.Int64
 }
 
 // BaseURL returns the normalized server address the client targets.
@@ -115,6 +119,7 @@ func New(base string, opts ...Option) (*Client, error) {
 		return nil, fmt.Errorf("client: server address %q has no host", base)
 	}
 	c := &Client{base: strings.TrimRight(u.String(), "/"), http: &http.Client{Timeout: 30 * time.Second}}
+	c.staleMS.Store(-1)
 	for _, o := range opts {
 		o(c)
 	}
@@ -147,6 +152,11 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 		return err
 	}
 	defer resp.Body.Close()
+	if v := resp.Header.Get(httpapi.HeaderStaleness); v != "" {
+		if ms, perr := strconv.ParseInt(v, 10, 64); perr == nil {
+			c.staleMS.Store(ms)
+		}
+	}
 	if resp.StatusCode >= 300 {
 		return decodeError(resp)
 	}
@@ -178,6 +188,18 @@ func decodeError(resp *http.Response) error {
 		return fmt.Errorf("%w: %w", ErrOverloaded, apiErr)
 	}
 	return apiErr
+}
+
+// Staleness reports the replica-staleness bound carried by the most recent
+// response: how long before answering the serving replica last heard from
+// its leader. ok is false until the client has talked to a follower (leaders
+// and standalone servers send no bound — their answers are current).
+func (c *Client) Staleness() (time.Duration, bool) {
+	ms := c.staleMS.Load()
+	if ms < 0 {
+		return 0, false
+	}
+	return time.Duration(ms) * time.Millisecond, true
 }
 
 // Health fetches the liveness and recovery report.

@@ -10,8 +10,12 @@
 //
 //	acquery -graph g.json -owner u000001 -path '...' -audience
 //
+//	acquery -dir /var/lib/reachac -verify-chain
+//
 // -audience enumerates every member the path grants access to (the
-// resource's effective audience).
+// resource's effective audience). -verify-chain skips querying entirely and
+// audits the directory's tamper-evidence hash chain offline, naming the
+// first divergent record on failure (exit 1).
 //
 // Instead of -graph, -dir opens a durable network directory (as written by
 // reachac.Open): the graph is recovered from the latest checkpoint plus the
@@ -22,6 +26,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -36,6 +41,7 @@ import (
 	"reachac/internal/pathexpr"
 	"reachac/internal/search"
 	"reachac/internal/tclosure"
+	"reachac/internal/wal"
 )
 
 // querier is the shared query surface: the local evaluators and the remote
@@ -63,8 +69,16 @@ func main() {
 		engine    = flag.String("engine", "online", "evaluator: online, closure, index (local modes only)")
 		audience  = flag.Bool("audience", false, "enumerate the full audience instead of one requester")
 		explain   = flag.Bool("explain", false, "print a witness path on grant (local online engine)")
+		verify    = flag.Bool("verify-chain", false, "verify -dir's tamper-evidence audit chain and exit")
 	)
 	flag.Parse()
+	if *verify {
+		if *dirPath == "" {
+			log.Fatal("-verify-chain needs -dir")
+		}
+		verifyChain(*dirPath)
+		return
+	}
 	sources := 0
 	for _, s := range []string{*graphPath, *dirPath, *addr} {
 		if s != "" {
@@ -277,4 +291,22 @@ func (q *remoteQuerier) audience(owner, expr string) ([]string, error) {
 func (q *remoteQuerier) numMembers() (int, error) {
 	h, err := q.c.Health(context.Background())
 	return h.Users, err
+}
+
+// verifyChain runs the offline tamper-evidence audit: every record group's
+// hash link back to the newest checkpoint anchor. It prints the verified
+// extent and exits 0, or names the first divergent record and exits 1.
+func verifyChain(dir string) {
+	report, err := reachac.VerifyChain(dir)
+	if err != nil {
+		var ce *wal.ChainError
+		if errors.As(err, &ce) {
+			log.Printf("audit chain BROKEN: %v", ce)
+			log.Fatalf("first divergent record: segment %d, byte offset %d, group %d since anchor", ce.Seq, ce.Offset, ce.Index)
+		}
+		log.Fatal(err)
+	}
+	fmt.Printf("audit chain OK: %d record groups across %d segments verified (anchor checkpoint %d)\n",
+		report.Groups, report.Segments, report.CheckpointSeq)
+	fmt.Printf("chain head: %s\n", report.Chain)
 }

@@ -8,7 +8,16 @@
 //	acserverd -dir /var/lib/reachac [-addr :8708] [-engine online|closure|index|...]
 //	          [-sync always|interval|never] [-sync-interval 50ms]
 //	          [-checkpoint-every 4194304] [-max-checks 64] [-max-queue 1024]
-//	          [-coalesce 128] [-coalesce-wait 0]
+//	          [-coalesce 128] [-coalesce-wait 0] [-follow leader:8708]
+//
+// With -follow the daemon runs as a read replica: it mirrors the leader's
+// write-ahead log into -dir (bootstrapping from the leader's checkpoint if
+// needed), serves the read API off the replicated state — every response
+// carrying an X-Replica-Staleness-Ms freshness bound — and rejects mutations
+// with 503/read-only. Losing the leader degrades to stale serving, never an
+// outage. To promote, stop the daemon and restart it on the same -dir
+// without -follow: the leader restart bumps the leadership epoch, so the old
+// leader (should it return) is superseded.
 //
 // The bound address is announced on stdout as "ACSERVERD_LISTEN=<addr>"
 // before serving starts, so -addr 127.0.0.1:0 (a kernel-assigned free
@@ -56,6 +65,7 @@ func main() {
 		coalesce     = flag.Int("coalesce", 0, "max mutations folded into one commit group (0 = 128)")
 		coalesceWait = flag.Duration("coalesce-wait", 0, "how long the committer lingers for more mutations (0 = drain-only)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
+		follow       = flag.String("follow", "", "run as a read replica of the leader at this address")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -79,6 +89,9 @@ func main() {
 		log.Fatalf("unknown -sync %q (have always, interval, never)", *syncMode)
 	}
 
+	if *follow != "" {
+		opts = append(opts, reachac.WithFollow(*follow))
+	}
 	n, err := reachac.Open(*dir, opts...)
 	if err != nil {
 		log.Fatal(err)
@@ -86,6 +99,10 @@ func main() {
 	rec := n.Recovery()
 	log.Printf("recovered %d users, %d relationships from %s (%d WAL groups past checkpoint %d, torn tail: %v)",
 		n.NumUsers(), n.NumRelationships(), *dir, rec.Groups, rec.CheckpointSeq, rec.TornTail)
+	if n.Follower() {
+		rs := n.ReplicaStatus()
+		log.Printf("following %s (epoch %d) as a read replica; mutations are rejected", rs.Leader, rs.Epoch)
+	}
 
 	srv := server.New(n, server.Config{
 		MaxConcurrentChecks: *maxChecks,

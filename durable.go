@@ -2,8 +2,10 @@ package reachac
 
 import (
 	"fmt"
+	"net/http"
 	"time"
 
+	"reachac/internal/replica"
 	"reachac/internal/wal"
 )
 
@@ -35,6 +37,8 @@ type openConfig struct {
 	ckptEvery    int64
 	route        bool
 	planner      PlannerOptions
+	follow       string
+	followHTTP   *http.Client
 }
 
 // Option configures Open.
@@ -88,12 +92,24 @@ func Open(dir string, opts ...Option) (*Network, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if cfg.follow != "" {
+		return openFollower(dir, cfg)
+	}
 	l, rec, err := wal.Open(dir, wal.Options{Sync: cfg.sync, Interval: cfg.syncInterval})
 	if err != nil {
 		return nil, err
 	}
+	// Every leader open bumps the directory's leadership epoch, so a promoted
+	// follower (an ordinary restart on the replicated directory) supersedes
+	// the leader that shipped it the bytes.
+	epoch, err := replica.BumpEpoch(dir)
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
 	n := newNetwork(rec.Graph, rec.Store)
 	n.wal = l
+	n.replSource = replica.NewSource(dir, epoch, l)
 	n.ckptEvery = cfg.ckptEvery
 	n.route = cfg.route
 	n.autoMigrate = cfg.planner.AutoMigrate
@@ -119,6 +135,9 @@ func (n *Network) Durable() bool { return n.wal != nil }
 // write-ahead log. Mutations after Close fail; reads keep serving the
 // in-memory state. Close is a no-op on non-durable networks and idempotent.
 func (n *Network) Close() error {
+	if n.follower != nil {
+		return n.closeFollower()
+	}
 	n.mu.Lock()
 	if n.wal == nil || n.closed {
 		n.mu.Unlock()
@@ -170,11 +189,14 @@ func (n *Network) Checkpoint() error {
 	return nil
 }
 
-// writeGuardLocked rejects mutations on closed or WAL-poisoned networks.
-// Callers hold n.mu.
+// writeGuardLocked rejects mutations on closed, WAL-poisoned or read-replica
+// networks. Callers hold n.mu.
 func (n *Network) writeGuardLocked() error {
 	if n.closed {
 		return fmt.Errorf("reachac: %w", ErrClosed)
+	}
+	if n.follower != nil {
+		return n.errFollowerReadOnly()
 	}
 	if n.walErr != nil {
 		return fmt.Errorf("reachac: %w: %v", ErrReadOnly, n.walErr)

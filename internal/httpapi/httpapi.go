@@ -145,15 +145,38 @@ type Recovery struct {
 	CheckpointSeq uint64 `json:"checkpoint_seq"`
 }
 
-// HealthResponse reports liveness and what recovery reconstructed.
+// Replica summarizes a follower's replication state for health checks.
+type Replica struct {
+	Epoch      uint64 `json:"epoch"`
+	Connected  bool   `json:"connected"`
+	Halted     bool   `json:"halted"`
+	AppliedSeq uint64 `json:"applied_seq"`
+	AppliedOff int64  `json:"applied_off"`
+	// LagBytes and StalenessMS are the staleness bound: byte distance to the
+	// leader's durable position, and wall-clock milliseconds since the last
+	// successful leader exchange.
+	LagBytes    int64 `json:"lag_bytes"`
+	StalenessMS int64 `json:"staleness_ms"`
+}
+
+// HealthResponse reports liveness, role and what recovery reconstructed.
 type HealthResponse struct {
-	Status        string    `json:"status"`
+	Status string `json:"status"`
+	// Role is "leader" (durable, followable), "follower" (read replica) or
+	// "standalone" (non-durable).
+	Role          string    `json:"role"`
 	Engine        string    `json:"engine"`
 	Durable       bool      `json:"durable"`
 	Users         int       `json:"users"`
 	Relationships int       `json:"relationships"`
 	Recovery      *Recovery `json:"recovery,omitempty"`
+	Replica       *Replica  `json:"replica,omitempty"`
 }
+
+// HeaderStaleness is set on every response a follower serves: the wall-clock
+// milliseconds since its last successful leader exchange, a freshness hint in
+// the spirit of Retry-After. Absent on leaders.
+const HeaderStaleness = "X-Replica-Staleness-Ms"
 
 // ServerStats counts serving-layer events on top of the engine counters.
 type ServerStats struct {

@@ -1,0 +1,178 @@
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"reachac/internal/wal"
+)
+
+// Client errors a follower dispatches on. Transport failures pass through
+// unwrapped and are retried; these sentinels carry protocol meaning.
+var (
+	// ErrEpochConflict: the leader answers under a different epoch than the
+	// cursor carries. The follower re-reads the manifest and either adopts a
+	// higher epoch or hard-stops on a regression.
+	ErrEpochConflict = errors.New("replica: leader epoch conflict")
+	// ErrAhead: the follower's cursor is past the leader's durable
+	// position — divergence (a rolled-back leader), never retried.
+	ErrAhead = errors.New("replica: follower cursor is ahead of the leader")
+	// ErrGone: the cursor's segment was compacted away; the follower must
+	// re-bootstrap from the leader's checkpoint.
+	ErrGone = errors.New("replica: segment compacted away on the leader")
+	// ErrMisdelivery: a response's echoed cursor does not match the request
+	// (a duplicated, reordered or misrouted delivery); retried.
+	ErrMisdelivery = errors.New("replica: delivery does not match the requested cursor")
+)
+
+// TailChunk is one verified-framing-pending delivery from the tail endpoint.
+type TailChunk struct {
+	Epoch uint64
+	// Seq and Off echo the request cursor; Data holds the frame bytes from
+	// that position (nil after an empty long-poll).
+	Seq  uint64
+	Off  int64
+	Data []byte
+	// Sealed reports that Data reaches the end of a sealed segment: the
+	// next cursor is (Seq+1, 0).
+	Sealed bool
+	// LeaderSeq and LeaderOff are the leader's durable position, the lag
+	// reference the follower surfaces.
+	LeaderSeq uint64
+	LeaderOff int64
+}
+
+// Client fetches replication data from one leader.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient builds a client for the leader at addr ("host:port" or a full
+// http URL).
+func NewClient(addr string, hc *http.Client) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &Client{base: strings.TrimRight(addr, "/"), http: hc}
+}
+
+// Base returns the normalized leader URL.
+func (c *Client) Base() string { return c.base }
+
+func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.http.Do(req)
+}
+
+// Manifest fetches the leader's replication manifest.
+func (c *Client) Manifest(ctx context.Context) (Manifest, error) {
+	var m Manifest
+	resp, err := c.get(ctx, PathManifest)
+	if err != nil {
+		return m, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return m, fmt.Errorf("replica: manifest: leader answered %s", resp.Status)
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&m); err != nil {
+		return m, fmt.Errorf("replica: manifest: %w", err)
+	}
+	return m, nil
+}
+
+// Checkpoint downloads the raw checkpoint file covering segment seq.
+func (c *Client) Checkpoint(ctx context.Context, seq uint64) ([]byte, error) {
+	resp, err := c.get(ctx, fmt.Sprintf("%s?checkpoint=%d", PathSegments, seq))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, ErrGone
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("replica: checkpoint %d: leader answered %s", seq, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Tail performs one long-poll at the given cursor. It returns a chunk whose
+// echoed cursor it has already checked against the request — ErrMisdelivery
+// otherwise — or a protocol sentinel. The chunk's Data is raw frame bytes
+// the caller must still verify (CRC + chain) before trusting.
+func (c *Client) Tail(ctx context.Context, epoch, seq uint64, off int64, wait time.Duration) (TailChunk, error) {
+	var ch TailChunk
+	resp, err := c.get(ctx, fmt.Sprintf("%s?epoch=%d&seq=%d&off=%d&wait=%d",
+		PathTail, epoch, seq, off, wait.Milliseconds()))
+	if err != nil {
+		return ch, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusNoContent:
+	case http.StatusConflict:
+		if resp.Header.Get(hdrConflict) == "ahead" {
+			return ch, ErrAhead
+		}
+		return ch, ErrEpochConflict
+	case http.StatusNotFound:
+		return ch, ErrGone
+	default:
+		return ch, fmt.Errorf("replica: tail: leader answered %s", resp.Status)
+	}
+	if ch.Epoch, err = headerUint(resp, hdrEpoch); err != nil {
+		return ch, err
+	}
+	if ch.Seq, err = headerUint(resp, hdrSeq); err != nil {
+		return ch, err
+	}
+	o, err := headerUint(resp, hdrOff)
+	if err != nil {
+		return ch, err
+	}
+	ch.Off = int64(o)
+	ch.Sealed = resp.Header.Get(hdrSealed) == "1"
+	if ch.LeaderSeq, err = headerUint(resp, hdrDurableSeq); err != nil {
+		return ch, err
+	}
+	lo, err := headerUint(resp, hdrDurableOff)
+	if err != nil {
+		return ch, err
+	}
+	ch.LeaderOff = int64(lo)
+	if ch.Epoch != epoch || ch.Seq != seq || ch.Off != off {
+		return ch, fmt.Errorf("%w: asked (epoch %d, seq %d, off %d), delivery labeled (epoch %d, seq %d, off %d)",
+			ErrMisdelivery, epoch, seq, off, ch.Epoch, ch.Seq, ch.Off)
+	}
+	if resp.StatusCode == http.StatusOK {
+		// A chunk is ~maxChunk, except when a single record group is bigger
+		// (the source always ships at least one whole frame).
+		if ch.Data, err = io.ReadAll(io.LimitReader(resp.Body, wal.MaxRecordSize+maxChunk)); err != nil {
+			return ch, err
+		}
+	}
+	return ch, nil
+}
+
+func headerUint(resp *http.Response, name string) (uint64, error) {
+	v, err := strconv.ParseUint(resp.Header.Get(name), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("replica: response missing or malformed %s header: %w", name, err)
+	}
+	return v, nil
+}

@@ -1,0 +1,459 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"reachac/internal/wal"
+)
+
+// Config configures a follower.
+type Config struct {
+	// Dir is the follower's own log directory: a byte-identical mirror of
+	// the leader's segment prefix, locked and recovered exactly like a
+	// leader directory (which is what makes promotion an ordinary restart).
+	Dir string
+	// Leader is the leader's address ("host:port" or http URL).
+	Leader string
+	// HTTP overrides the transport (tests inject fault proxies).
+	HTTP *http.Client
+	// Wait is the tail long-poll duration (default 2s); RetryMin/RetryMax
+	// bound the exponential backoff after transient failures (default
+	// 50ms/2s).
+	Wait     time.Duration
+	RetryMin time.Duration
+	RetryMax time.Duration
+}
+
+// Status is a follower's point-in-time replication state, the staleness
+// bound the serving layer surfaces.
+type Status struct {
+	// Leader is the normalized leader URL; Epoch the leadership epoch the
+	// follower is applying.
+	Leader string `json:"leader"`
+	Epoch  uint64 `json:"epoch"`
+	// Connected reports the last leader exchange succeeded. Err holds the
+	// current failure (transient while Connected flaps, permanent once
+	// Halted).
+	Connected bool   `json:"connected"`
+	Err       string `json:"err,omitempty"`
+	// Halted reports replication stopped for a reason retrying cannot fix
+	// (epoch regression, divergence, tamper); reads keep serving.
+	Halted bool `json:"halted"`
+	// AppliedSeq/AppliedOff is the cursor: every leader byte before it has
+	// been verified, persisted and applied. Groups counts applied record
+	// groups since open.
+	AppliedSeq uint64 `json:"applied_seq"`
+	AppliedOff int64  `json:"applied_off"`
+	Groups     uint64 `json:"groups"`
+	// LeaderSeq/LeaderOff is the leader's durable position at last contact:
+	// the applied-offset lag is the cursor distance to it.
+	LeaderSeq uint64 `json:"leader_seq"`
+	LeaderOff int64  `json:"leader_off"`
+	// LastContact is the last successful leader exchange, LastApplied the
+	// last applied group; their distance to now is the wall-clock staleness
+	// bound.
+	LastContact time.Time `json:"last_contact"`
+	LastApplied time.Time `json:"last_applied,omitempty"`
+}
+
+// LagBytes reports the applied-to-leader byte lag: exact within one segment,
+// and a lower bound (the leader's live-segment fill) when the follower is
+// segments behind.
+func (st Status) LagBytes() int64 {
+	if st.LeaderSeq == st.AppliedSeq {
+		return max(st.LeaderOff-st.AppliedOff, 0)
+	}
+	if st.LeaderSeq > st.AppliedSeq {
+		return st.LeaderOff
+	}
+	return 0
+}
+
+// Follower mirrors a leader's WAL into its own directory and applies each
+// verified record group through a callback. Reads are the caller's business
+// (the facade serves its usual snapshots); the follower only moves bytes and
+// state forward — and never poisons reads: every failure mode ends in stale
+// serving with the staleness surfaced, not an error-latched network.
+type Follower struct {
+	cfg    Config
+	client *Client
+	lock   *os.File
+
+	mu    sync.Mutex
+	st    Status
+	chain wal.Chain
+	f     *os.File // current local segment, open for append
+
+	apply  func([]wal.Op) error
+	cancel context.CancelFunc
+	done   chan struct{}
+	closed bool
+}
+
+// Open locks and recovers the follower's directory, bootstraps from the
+// leader's checkpoint when the local state is missing or compacted past, and
+// returns the follower plus the recovered state the caller builds its
+// serving network from. Replication does not start until Start.
+func Open(cfg Config) (*Follower, wal.Recovered, error) {
+	if cfg.Wait <= 0 {
+		cfg.Wait = 2 * time.Second
+	}
+	if cfg.RetryMin <= 0 {
+		cfg.RetryMin = 50 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 2 * time.Second
+	}
+	var rec wal.Recovered
+	lock, err := wal.LockDir(cfg.Dir)
+	if err != nil {
+		return nil, rec, err
+	}
+	fail := func(err error) (*Follower, wal.Recovered, error) {
+		lock.Close()
+		return nil, rec, err
+	}
+	client := NewClient(cfg.Leader, cfg.HTTP)
+	ctx, stop := context.WithTimeout(context.Background(), 30*time.Second)
+	defer stop()
+	man, err := client.Manifest(ctx)
+	if err != nil {
+		return fail(fmt.Errorf("replica: leader unreachable at open: %w", err))
+	}
+	// Persist the observed epoch before applying anything under it, and
+	// refuse a leader older than one this directory already followed.
+	known, err := ReadEpoch(cfg.Dir)
+	if err != nil {
+		return fail(err)
+	}
+	if man.Epoch < known {
+		return fail(fmt.Errorf("replica: leader epoch %d regressed behind observed epoch %d", man.Epoch, known))
+	}
+	if err := WriteEpoch(cfg.Dir, man.Epoch); err != nil {
+		return fail(err)
+	}
+	rec, err = wal.Recover(cfg.Dir)
+	if err != nil {
+		return fail(err)
+	}
+	if rec.TailSeq <= man.CheckpointSeq {
+		// The segment the local state needs next was compacted away on the
+		// leader: restart the mirror from the leader's checkpoint.
+		if rec, err = bootstrap(cfg.Dir, client, man.CheckpointSeq); err != nil {
+			return fail(err)
+		}
+	}
+	if rec.TailSeq > man.DurableSeq || (rec.TailSeq == man.DurableSeq && rec.TailSize > man.DurableOff) {
+		return fail(fmt.Errorf("replica: local state (segment %d, offset %d) is ahead of the leader's durable position (%d, %d) — diverged history",
+			rec.TailSeq, rec.TailSize, man.DurableSeq, man.DurableOff))
+	}
+	f, err := os.OpenFile(wal.SegmentFile(cfg.Dir, rec.TailSeq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fail(err)
+	}
+	if err := syncDir(cfg.Dir); err != nil {
+		f.Close()
+		return fail(err)
+	}
+	fo := &Follower{
+		cfg:    cfg,
+		client: client,
+		lock:   lock,
+		chain:  rec.Chain,
+		f:      f,
+		st: Status{
+			Leader:      client.Base(),
+			Epoch:       man.Epoch,
+			Connected:   true,
+			AppliedSeq:  rec.TailSeq,
+			AppliedOff:  rec.TailSize,
+			LeaderSeq:   man.DurableSeq,
+			LeaderOff:   man.DurableOff,
+			LastContact: time.Now(),
+		},
+	}
+	return fo, rec, nil
+}
+
+// bootstrap wipes the local mirror and restarts it from the leader's
+// checkpoint covering ckptSeq, returning the recovered state.
+func bootstrap(dir string, client *Client, ckptSeq uint64) (wal.Recovered, error) {
+	var rec wal.Recovered
+	ctx, stop := context.WithTimeout(context.Background(), 60*time.Second)
+	defer stop()
+	data, err := client.Checkpoint(ctx, ckptSeq)
+	if err != nil {
+		return rec, fmt.Errorf("replica: bootstrap checkpoint %d: %w", ckptSeq, err)
+	}
+	segs, ckpts, err := wal.ListDir(dir)
+	if err != nil {
+		return rec, err
+	}
+	for _, seq := range segs {
+		if err := os.Remove(wal.SegmentFile(dir, seq)); err != nil {
+			return rec, err
+		}
+	}
+	for _, seq := range ckpts {
+		if err := os.Remove(wal.CheckpointFile(dir, seq)); err != nil {
+			return rec, err
+		}
+	}
+	tmp := wal.CheckpointFile(dir, ckptSeq) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return rec, err
+	}
+	if err := os.Rename(tmp, wal.CheckpointFile(dir, ckptSeq)); err != nil {
+		os.Remove(tmp)
+		return rec, err
+	}
+	// Recovery demands the segment after the checkpoint exist; the mirror of
+	// its bytes arrives through the tail, starting at offset 0.
+	next, err := os.OpenFile(wal.SegmentFile(dir, ckptSeq+1), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return rec, err
+	}
+	if err := next.Close(); err != nil {
+		return rec, err
+	}
+	if err := syncDir(dir); err != nil {
+		return rec, err
+	}
+	rec, err = wal.Recover(dir)
+	if err != nil {
+		return rec, fmt.Errorf("replica: recovering bootstrapped checkpoint: %w", err)
+	}
+	return rec, nil
+}
+
+// Start launches the tail loop; apply is called with each verified record
+// group, in order, exactly once per group across the follower's lifetime
+// (restarts replay from the local mirror instead).
+func (f *Follower) Start(apply func([]wal.Op) error) {
+	f.apply = apply
+	ctx, cancel := context.WithCancel(context.Background())
+	f.cancel = cancel
+	f.done = make(chan struct{})
+	go f.run(ctx)
+}
+
+// Status returns the current replication state.
+func (f *Follower) Status() Status {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.st
+}
+
+// Close stops the tail loop, closes the local segment and releases the
+// directory lock. Idempotent.
+func (f *Follower) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	f.mu.Unlock()
+	if f.cancel != nil {
+		f.cancel()
+		<-f.done
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var err error
+	if f.f != nil {
+		err = f.f.Close()
+		f.f = nil
+	}
+	if cerr := f.lock.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// run is the tail loop: poll, verify, persist, apply, advance — forever,
+// with backoff on transient failures and a hard stop (stale serving, status
+// surfaced) on non-retryable ones.
+func (f *Follower) run(ctx context.Context) {
+	defer close(f.done)
+	backoff := f.cfg.RetryMin
+	for ctx.Err() == nil {
+		f.mu.Lock()
+		epoch, seq, off := f.st.Epoch, f.st.AppliedSeq, f.st.AppliedOff
+		f.mu.Unlock()
+		chunk, err := f.client.Tail(ctx, epoch, seq, off, f.cfg.Wait)
+		switch {
+		case err == nil:
+			backoff = f.cfg.RetryMin
+			if !f.ingest(chunk) {
+				return
+			}
+			continue
+		case ctx.Err() != nil:
+			return
+		case errors.Is(err, ErrEpochConflict):
+			if !f.adoptEpoch(ctx) {
+				return
+			}
+			continue
+		case errors.Is(err, ErrAhead):
+			f.halt(fmt.Errorf("leader lost history the follower already applied: %w", err))
+			return
+		case errors.Is(err, ErrGone):
+			f.halt(fmt.Errorf("leader compacted past the follower's cursor (reopen the follower to re-bootstrap): %w", err))
+			return
+		default:
+			// Transient: a dead connection, a misdelivery, a 5xx. Degrade to
+			// stale serving, surface the error, retry with backoff.
+			f.transient(err)
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(backoff):
+			}
+			backoff = min(backoff*2, f.cfg.RetryMax)
+		}
+	}
+}
+
+// ingest verifies, persists and applies one delivery. It returns false when
+// replication must stop (halt already recorded).
+func (f *Follower) ingest(chunk TailChunk) bool {
+	f.mu.Lock()
+	chain := f.chain
+	file := f.f
+	f.mu.Unlock()
+
+	consumed := int64(0)
+	var groups [][]wal.Op
+	var next wal.Chain
+	if len(chunk.Data) > 0 {
+		var err error
+		groups, consumed, next, err = wal.ScanChained(chunk.Data, chain)
+		if err != nil {
+			// A CRC-valid record with a broken chain link: tampered or
+			// diverged bytes. Nothing at or past it was applied.
+			f.halt(fmt.Errorf("shipped bytes failed chain verification at cursor (%d,%d): %w",
+				chunk.Seq, chunk.Off+consumed, err))
+			return false
+		}
+		if consumed == 0 {
+			// Every frame torn: a mangled delivery. Re-poll; the leader
+			// re-serves from the same cursor.
+			f.transient(fmt.Errorf("delivery at cursor (%d,%d) held no complete frame (%d bytes)",
+				chunk.Seq, chunk.Off, len(chunk.Data)))
+			return true
+		}
+		// Persist before apply: after a crash, local recovery replays
+		// exactly what was applied (or more), never less.
+		if _, err := file.Write(chunk.Data[:consumed]); err != nil {
+			f.halt(fmt.Errorf("persisting shipped bytes: %w", err))
+			return false
+		}
+		if err := file.Sync(); err != nil {
+			f.halt(fmt.Errorf("fsyncing shipped bytes: %w", err))
+			return false
+		}
+		for _, g := range groups {
+			if err := f.apply(g); err != nil {
+				f.halt(fmt.Errorf("applying replicated group: %w", err))
+				return false
+			}
+		}
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	now := time.Now()
+	f.st.Connected, f.st.Err = true, ""
+	f.st.LastContact = now
+	f.st.LeaderSeq, f.st.LeaderOff = chunk.LeaderSeq, chunk.LeaderOff
+	if consumed > 0 {
+		f.chain = next
+		f.st.AppliedOff += consumed
+		f.st.Groups += uint64(len(groups))
+		f.st.LastApplied = now
+	}
+	if chunk.Sealed && consumed == int64(len(chunk.Data)) {
+		// The mirrored segment is complete: roll to the next one, exactly
+		// like the leader's rotation.
+		if err := f.rollLocked(); err != nil {
+			f.haltLocked(err)
+			return false
+		}
+	}
+	return true
+}
+
+// rollLocked closes the completed local segment and opens the next. Callers
+// hold f.mu.
+func (f *Follower) rollLocked() error {
+	if err := f.f.Close(); err != nil {
+		return err
+	}
+	f.st.AppliedSeq++
+	f.st.AppliedOff = 0
+	nf, err := os.OpenFile(wal.SegmentFile(f.cfg.Dir, f.st.AppliedSeq),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	f.f = nf
+	return syncDir(f.cfg.Dir)
+}
+
+// adoptEpoch re-reads the manifest after an epoch conflict: a higher epoch
+// (leader restart or promotion over the same history) is adopted and
+// persisted; a lower one is a regression and halts replication. Returns
+// false when replication must stop.
+func (f *Follower) adoptEpoch(ctx context.Context) bool {
+	man, err := f.client.Manifest(ctx)
+	if err != nil {
+		f.transient(err)
+		return true
+	}
+	f.mu.Lock()
+	known := f.st.Epoch
+	f.mu.Unlock()
+	if man.Epoch < known {
+		f.halt(fmt.Errorf("leader epoch regressed from %d to %d", known, man.Epoch))
+		return false
+	}
+	if err := WriteEpoch(f.cfg.Dir, man.Epoch); err != nil {
+		f.halt(fmt.Errorf("persisting adopted epoch %d: %w", man.Epoch, err))
+		return false
+	}
+	f.mu.Lock()
+	f.st.Epoch = man.Epoch
+	f.st.LastContact = time.Now()
+	f.mu.Unlock()
+	return true
+}
+
+// transient records a retryable failure: disconnected, error surfaced,
+// reads keep serving the last applied state.
+func (f *Follower) transient(err error) {
+	f.mu.Lock()
+	f.st.Connected = false
+	f.st.Err = err.Error()
+	f.mu.Unlock()
+}
+
+func (f *Follower) halt(err error) {
+	f.mu.Lock()
+	f.haltLocked(err)
+	f.mu.Unlock()
+}
+
+// haltLocked records a non-retryable stop. Callers hold f.mu.
+func (f *Follower) haltLocked(err error) {
+	f.st.Connected = false
+	f.st.Halted = true
+	f.st.Err = err.Error()
+}

@@ -1,0 +1,155 @@
+// Package replica implements WAL shipping: a leader serves its write-ahead
+// log — sealed segments plus the live, fsynced tail — over three HTTP
+// endpoints, and a follower mirrors those bytes into its own directory,
+// verifying every delivery's CRC framing and tamper-evidence chain before
+// applying it to its serving state.
+//
+// The protocol is pull-based and cursor-addressed. A follower holds a cursor
+// (epoch, segment seq, byte offset) and long-polls
+//
+//	GET /v1/repl/tail?epoch=E&seq=N&off=O&wait=MS
+//
+// which answers with the frame-aligned durable bytes of segment N from
+// offset O (200, raw body), nothing yet (204 after the wait), or a conflict:
+// 409 when the epochs disagree or the follower is ahead of the leader's
+// durable position, 404 when segment N was compacted away. Every response
+// echoes the request cursor plus the leader's durable position in headers,
+// so a duplicated, reordered or misdirected delivery is detected by a plain
+// header comparison before any byte is trusted — and a delivery whose
+// headers lie is still caught by the chain link of its first record.
+//
+//	GET /v1/repl/manifest
+//
+// reports the leader's epoch, newest checkpoint and durable position;
+//
+//	GET /v1/repl/segments?checkpoint=N   (and ?seq=N for sealed segments)
+//
+// serves the raw files a follower bootstraps from.
+//
+// Epochs order leaderships. Every leader Open bumps the epoch file in its
+// directory; a follower persists the highest epoch it has observed before
+// applying anything from it and hard-rejects a leader whose epoch is lower —
+// a stale leader cannot roll a replica back. Promotion is an ordinary leader
+// restart on the replicated directory: the bump supersedes the dead leader.
+//
+// Only durable bytes are served. The leader's shipping frontier is its fsync
+// frontier (see wal.DurablePos), so a leader crash never retracts bytes a
+// follower applied, and the follower's local files stay byte-identical to
+// the leader's prefix. The follower fsyncs shipped bytes before applying
+// them, so its own recovery replays exactly what it acknowledged.
+package replica
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Replication endpoints, mounted by the serving layer on durable leaders.
+const (
+	PathManifest = "/v1/repl/manifest"
+	PathSegments = "/v1/repl/segments"
+	PathTail     = "/v1/repl/tail"
+)
+
+// Manifest describes a leader's replication state.
+type Manifest struct {
+	// Epoch is the leader's current leadership epoch.
+	Epoch uint64 `json:"epoch"`
+	// CheckpointSeq is the newest checkpoint's covered segment (0 = none);
+	// OldestSeq the oldest segment still present. A follower whose cursor
+	// fell behind OldestSeq must re-bootstrap from the checkpoint.
+	CheckpointSeq uint64 `json:"checkpoint_seq"`
+	OldestSeq     uint64 `json:"oldest_seq"`
+	// DurableSeq and DurableOff are the leader's shipping frontier.
+	DurableSeq uint64 `json:"durable_seq"`
+	DurableOff int64  `json:"durable_off"`
+	// Chain is the leader's current tamper-evidence head (hex).
+	Chain string `json:"chain"`
+}
+
+// Response headers carrying the cursor echo and the leader position.
+const (
+	hdrEpoch      = "X-Repl-Epoch"
+	hdrSeq        = "X-Repl-Seq"
+	hdrOff        = "X-Repl-Off"
+	hdrSealed     = "X-Repl-Sealed"
+	hdrDurableSeq = "X-Repl-Durable-Seq"
+	hdrDurableOff = "X-Repl-Durable-Off"
+	hdrConflict   = "X-Repl-Conflict"
+)
+
+const epochFile = "epoch"
+
+// ReadEpoch returns the leadership epoch recorded in dir (0 if none yet).
+func ReadEpoch(dir string) (uint64, error) {
+	data, err := os.ReadFile(filepath.Join(dir, epochFile))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	e, err := strconv.ParseUint(strings.TrimSpace(string(data)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("replica: malformed epoch file in %s: %w", dir, err)
+	}
+	return e, nil
+}
+
+// WriteEpoch durably records epoch in dir (write to temp, fsync, rename,
+// fsync dir — the same discipline checkpoints use).
+func WriteEpoch(dir string, epoch uint64) error {
+	tmp := filepath.Join(dir, epochFile+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(f, "%d\n", epoch); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, epochFile)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// BumpEpoch advances the directory's leadership epoch by one and returns the
+// new value. Every leader Open calls it, so a promoted follower (or a plain
+// restart) always outranks whatever leader wrote the directory before.
+func BumpEpoch(dir string) (uint64, error) {
+	e, err := ReadEpoch(dir)
+	if err != nil {
+		return 0, err
+	}
+	if err := WriteEpoch(dir, e+1); err != nil {
+		return 0, err
+	}
+	return e + 1, nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

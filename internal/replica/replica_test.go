@@ -1,0 +1,708 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"reachac/internal/graph"
+	"reachac/internal/wal"
+)
+
+// leader bundles a live wal.Log with its shipping source for tests.
+type leader struct {
+	dir   string
+	log   *wal.Log
+	src   *Source
+	mux   *http.ServeMux
+	srv   *httptest.Server
+	seq   int // next test op ordinal
+	epoch uint64
+}
+
+func newLeader(t *testing.T) *leader {
+	t.Helper()
+	dir := t.TempDir()
+	l, _, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	epoch, err := BumpEpoch(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewSource(dir, epoch, l)
+	mux := http.NewServeMux()
+	src.Register(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return &leader{dir: dir, log: l, src: src, mux: mux, srv: srv, epoch: epoch}
+}
+
+// append writes n single-op groups, each adding one uniquely named node.
+func (ld *leader) append(t *testing.T, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		op := wal.GraphOp(graph.Delta{Op: graph.OpAddNode, Name: fmt.Sprintf("u%04d", ld.seq)})
+		ld.seq++
+		if err := ld.log.Append([]wal.Op{op}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// recorder collects applied groups in order.
+type recorder struct {
+	mu    sync.Mutex
+	names []string
+}
+
+func (r *recorder) apply(ops []wal.Op) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, op := range ops {
+		if op.Delta != nil {
+			r.names = append(r.names, op.Delta.Name)
+		}
+	}
+	return nil
+}
+
+func (r *recorder) applied() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.names...)
+}
+
+// startFollower opens and starts a follower against addr with fast retries.
+func startFollower(t *testing.T, dir, addr string, hc *http.Client) (*Follower, *recorder) {
+	t.Helper()
+	f, _, err := Open(Config{
+		Dir: dir, Leader: addr, HTTP: hc,
+		Wait: 100 * time.Millisecond, RetryMin: 5 * time.Millisecond, RetryMax: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	rec := &recorder{}
+	f.Start(rec.apply)
+	return f, rec
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// caughtUp reports the follower's cursor reaching the leader's durable pos.
+func caughtUp(f *Follower, ld *leader) bool {
+	dseq, doff := ld.log.DurablePos()
+	st := f.Status()
+	return st.AppliedSeq > dseq || (st.AppliedSeq == dseq && st.AppliedOff >= doff)
+}
+
+func TestManifest(t *testing.T) {
+	ld := newLeader(t)
+	ld.append(t, 3)
+	c := NewClient(ld.srv.URL, nil)
+	man, err := c.Manifest(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dseq, doff := ld.log.DurablePos()
+	if man.Epoch != ld.epoch || man.DurableSeq != dseq || man.DurableOff != doff {
+		t.Fatalf("manifest %+v, want epoch %d durable (%d,%d)", man, ld.epoch, dseq, doff)
+	}
+	if man.CheckpointSeq != 0 || man.Chain == "" {
+		t.Fatalf("manifest %+v: want checkpoint 0 and a chain head", man)
+	}
+}
+
+func TestSegmentsRefusesLiveSegment(t *testing.T) {
+	ld := newLeader(t)
+	ld.append(t, 2)
+	resp, err := http.Get(ld.srv.URL + PathSegments + "?seq=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("live segment served with %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestFollowerMirrorsLeaderByteForByte(t *testing.T) {
+	ld := newLeader(t)
+	ld.append(t, 10)
+	f, rec := startFollower(t, t.TempDir(), ld.srv.URL, nil)
+	waitFor(t, "initial catch-up", func() bool { return caughtUp(f, ld) })
+
+	ld.append(t, 7)
+	waitFor(t, "tail catch-up", func() bool { return caughtUp(f, ld) })
+
+	names := rec.applied()
+	if len(names) != 17 {
+		t.Fatalf("applied %d groups, want 17", len(names))
+	}
+	for i, name := range names {
+		if want := fmt.Sprintf("u%04d", i); name != want {
+			t.Fatalf("group %d applied %q, want %q (order must match the leader)", i, name, want)
+		}
+	}
+	assertMirroredBytes(t, ld.dir, f.cfg.Dir, 1)
+
+	st := f.Status()
+	if !st.Connected || st.Halted || st.Err != "" {
+		t.Fatalf("healthy follower status %+v", st)
+	}
+	if st.LagBytes() != 0 {
+		t.Fatalf("caught-up follower lags %d bytes", st.LagBytes())
+	}
+}
+
+// assertMirroredBytes compares segment seq byte-for-byte across directories.
+func assertMirroredBytes(t *testing.T, leaderDir, followerDir string, seq uint64) {
+	t.Helper()
+	want, err := os.ReadFile(wal.SegmentFile(leaderDir, seq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(wal.SegmentFile(followerDir, seq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("segment %d: follower holds %d bytes, leader %d; mirrors must be byte-identical",
+			seq, len(got), len(want))
+	}
+}
+
+func TestFollowerRestartResumesFromLocalBytes(t *testing.T) {
+	ld := newLeader(t)
+	ld.append(t, 6)
+	fdir := t.TempDir()
+	f, rec := startFollower(t, fdir, ld.srv.URL, nil)
+	waitFor(t, "first catch-up", func() bool { return caughtUp(f, ld) })
+	firstApplied := len(rec.applied())
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ld.append(t, 5)
+	f2, rec2 := startFollower(t, fdir, ld.srv.URL, nil)
+	waitFor(t, "resume catch-up", func() bool { return caughtUp(f2, ld) })
+	// The restart replays local bytes into its own recovery, then tails only
+	// the new records: apply sees each group exactly once per process.
+	if got := len(rec2.applied()); got != 11-firstApplied {
+		t.Fatalf("restarted follower applied %d new groups, want %d", got, 11-firstApplied)
+	}
+	assertMirroredBytes(t, ld.dir, fdir, 1)
+}
+
+func TestFollowerBootstrapsFromCheckpoint(t *testing.T) {
+	ld := newLeader(t)
+	ld.append(t, 5)
+	covered, err := ld.log.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := wal.Recover(ld.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ld.log.WriteCheckpoint(covered, rec.Graph, rec.Store); err != nil {
+		t.Fatal(err)
+	}
+	ld.append(t, 4)
+
+	f, frec := startFollower(t, t.TempDir(), ld.srv.URL, nil)
+	waitFor(t, "bootstrap catch-up", func() bool { return caughtUp(f, ld) })
+	// Only post-checkpoint groups flow through apply; the checkpointed five
+	// arrive via the downloaded snapshot.
+	if got := frec.applied(); len(got) != 4 || got[0] != "u0005" {
+		t.Fatalf("post-bootstrap applied %v, want exactly u0005..u0008", got)
+	}
+	st := f.Status()
+	if st.AppliedSeq != 2 {
+		t.Fatalf("bootstrapped follower at segment %d, want 2", st.AppliedSeq)
+	}
+	assertMirroredBytes(t, ld.dir, f.cfg.Dir, 2)
+}
+
+// --- fault injection ------------------------------------------------------
+
+// chaosProxy sits between follower and leader, recording each upstream
+// response and letting a mutator rewrite it before delivery.
+type chaosProxy struct {
+	inner http.Handler
+	mu    sync.Mutex
+	// mutate rewrites one recorded response; nil passes through. Called
+	// under mu, so mutators may keep state without their own locking.
+	mutate func(r *http.Request, rec *httptest.ResponseRecorder) *httptest.ResponseRecorder
+}
+
+func (p *chaosProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	inner := p.inner
+	p.mu.Unlock()
+	rec := httptest.NewRecorder()
+	inner.ServeHTTP(rec, r)
+	p.mu.Lock()
+	if p.mutate != nil {
+		rec = p.mutate(r, rec)
+	}
+	p.mu.Unlock()
+	for k, vs := range rec.Header() {
+		if k == "Content-Length" {
+			continue
+		}
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(rec.Code)
+	w.Write(rec.Body.Bytes())
+}
+
+func (p *chaosProxy) setMutate(m func(*http.Request, *httptest.ResponseRecorder) *httptest.ResponseRecorder) {
+	p.mu.Lock()
+	p.mutate = m
+	p.mu.Unlock()
+}
+
+func (p *chaosProxy) setInner(h http.Handler) {
+	p.mu.Lock()
+	p.inner = h
+	p.mu.Unlock()
+}
+
+func newChaos(t *testing.T, ld *leader) (*chaosProxy, *httptest.Server) {
+	t.Helper()
+	p := &chaosProxy{inner: ld.mux}
+	srv := httptest.NewServer(p)
+	t.Cleanup(srv.Close)
+	return p, srv
+}
+
+func isTail(r *http.Request) bool { return strings.HasPrefix(r.URL.Path, PathTail) }
+
+// TestFollowerSurvivesTruncatedDeliveries cycles a different truncation
+// point through every tail response — including cuts inside frame headers
+// and payloads — and asserts the follower converges to the exact leader
+// state anyway, applying every group exactly once.
+func TestFollowerSurvivesTruncatedDeliveries(t *testing.T) {
+	ld := newLeader(t)
+	ld.append(t, 12)
+	p, srv := newChaos(t, ld)
+	cut := 0
+	p.setMutate(func(r *http.Request, rec *httptest.ResponseRecorder) *httptest.ResponseRecorder {
+		if !isTail(r) || rec.Code != http.StatusOK || rec.Body.Len() == 0 {
+			return rec
+		}
+		// Truncate to a different length every delivery: 0, 1, 2, ... bytes.
+		// The headers still promise the full chunk, exactly like a torn
+		// connection mid-body.
+		n := cut % (rec.Body.Len() + 1)
+		cut += 7 // stride through byte positions, hitting header and payload cuts
+		rec.Body.Truncate(n)
+		return rec
+	})
+	f, rec := startFollower(t, t.TempDir(), srv.URL, nil)
+	waitFor(t, "convergence through truncated deliveries", func() bool { return caughtUp(f, ld) })
+	if names := rec.applied(); len(names) != 12 {
+		t.Fatalf("applied %d groups, want 12 exactly (no loss, no duplication)", len(names))
+	}
+	assertMirroredBytes(t, ld.dir, f.cfg.Dir, 1)
+	if st := f.Status(); st.Halted {
+		t.Fatalf("truncation must be retried, not fatal: %+v", st)
+	}
+}
+
+// TestFollowerRejectsDuplicatedDeliveries replays a stale recorded response
+// for every other tail poll: the cursor echo exposes the duplicate, the
+// follower retries, and no group applies twice.
+func TestFollowerRejectsDuplicatedDeliveries(t *testing.T) {
+	ld := newLeader(t)
+	ld.append(t, 9)
+	p, srv := newChaos(t, ld)
+	var last *httptest.ResponseRecorder
+	flip := false
+	p.setMutate(func(r *http.Request, rec *httptest.ResponseRecorder) *httptest.ResponseRecorder {
+		if !isTail(r) || rec.Code != http.StatusOK {
+			return rec
+		}
+		prev := last
+		last = rec
+		flip = !flip
+		if flip && prev != nil {
+			return prev // duplicated delivery of the previous chunk
+		}
+		return rec
+	})
+	f, rec := startFollower(t, t.TempDir(), srv.URL, nil)
+	waitFor(t, "convergence through duplicated deliveries", func() bool { return caughtUp(f, ld) })
+	names := rec.applied()
+	if len(names) != 9 {
+		t.Fatalf("applied %d groups, want 9 exactly — a duplicate slipped through", len(names))
+	}
+	for i, name := range names {
+		if want := fmt.Sprintf("u%04d", i); name != want {
+			t.Fatalf("group %d applied %q, want %q", i, name, want)
+		}
+	}
+}
+
+// TestFollowerRejectsReorderedDelivery serves bytes from a later offset
+// under the requested cursor's headers — a reordering the echo cannot catch.
+// The chain link of the first skipped-past record must catch it instead, and
+// nothing out of order may apply.
+func TestFollowerRejectsReorderedDelivery(t *testing.T) {
+	ld := newLeader(t)
+	ld.append(t, 6)
+	offs, err := wal.RecordOffsets(wal.SegmentFile(ld.dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := os.ReadFile(wal.SegmentFile(ld.dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, srv := newChaos(t, ld)
+	attacked := false
+	p.setMutate(func(r *http.Request, rec *httptest.ResponseRecorder) *httptest.ResponseRecorder {
+		if !isTail(r) || rec.Code != http.StatusOK || attacked {
+			return rec
+		}
+		attacked = true
+		// Honest headers for cursor (1,0), body from record 2 onward: frames
+		// delivered out of order.
+		rec.Body.Reset()
+		rec.Body.Write(seg[offs[1]:])
+		return rec
+	})
+	f, rec := startFollower(t, t.TempDir(), srv.URL, nil)
+	waitFor(t, "halt on reordered delivery", func() bool { return f.Status().Halted })
+	if names := rec.applied(); len(names) != 0 {
+		t.Fatalf("out-of-order delivery applied %v; must apply nothing", names)
+	}
+	st := f.Status()
+	if !strings.Contains(st.Err, "chain") {
+		t.Fatalf("halt reason %q, want a chain verification failure", st.Err)
+	}
+}
+
+// TestFollowerRetriesCorruptDelivery flips one payload byte in the first
+// shipped chunk. CRC framing rejects it as torn, the follower retries, the
+// healed retry applies — and the corrupt version never did.
+func TestFollowerRetriesCorruptDelivery(t *testing.T) {
+	ld := newLeader(t)
+	ld.append(t, 5)
+	p, srv := newChaos(t, ld)
+	corrupted := false
+	p.setMutate(func(r *http.Request, rec *httptest.ResponseRecorder) *httptest.ResponseRecorder {
+		if !isTail(r) || rec.Code != http.StatusOK || corrupted || rec.Body.Len() < 16 {
+			return rec
+		}
+		corrupted = true
+		b := rec.Body.Bytes()
+		b[12] ^= 0xff // inside the first frame's payload
+		return rec
+	})
+	f, rec := startFollower(t, t.TempDir(), srv.URL, nil)
+	waitFor(t, "convergence after corrupt delivery", func() bool { return caughtUp(f, ld) })
+	if !corrupted {
+		t.Fatal("the corruptor never fired")
+	}
+	if names := rec.applied(); len(names) != 5 || names[0] != "u0000" {
+		t.Fatalf("applied %v, want exactly u0000..u0004", names)
+	}
+	if st := f.Status(); st.Halted {
+		t.Fatalf("corruption of an unverified delivery must retry, not halt: %+v", st)
+	}
+	assertMirroredBytes(t, ld.dir, f.cfg.Dir, 1)
+}
+
+// TestFollowerRejectsEpochRegressionAtOpen refuses to follow a leader whose
+// epoch is lower than one this directory already followed.
+func TestFollowerRejectsEpochRegressionAtOpen(t *testing.T) {
+	ld := newLeader(t)
+	ld.append(t, 3)
+	fdir := t.TempDir()
+	f, _ := startFollower(t, fdir, ld.srv.URL, nil)
+	waitFor(t, "catch-up", func() bool { return caughtUp(f, ld) })
+	f.Close()
+
+	// The directory observed epoch 1; a "leader" at epoch 0 must be refused.
+	if err := WriteEpoch(fdir, ld.epoch+5); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := Open(Config{Dir: fdir, Leader: ld.srv.URL})
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("open against a regressed-epoch leader: %v, want epoch regression error", err)
+	}
+}
+
+// TestFollowerHaltsOnEpochRegressionMidStream swaps in a lower-epoch leader
+// while the follower runs (a resurrected pre-failover leader): the tail
+// conflicts, the manifest confirms the regression, and the follower freezes
+// rather than apply anything from it.
+func TestFollowerHaltsOnEpochRegressionMidStream(t *testing.T) {
+	ld := newLeader(t)
+	ld.append(t, 4)
+	p, srv := newChaos(t, ld)
+	f, rec := startFollower(t, t.TempDir(), srv.URL, nil)
+	waitFor(t, "catch-up", func() bool { return caughtUp(f, ld) })
+	applied := len(rec.applied())
+
+	// A stale leader at epoch 0 (ours is 1): conflicts every tail, confirms
+	// the lower epoch on the manifest.
+	stale := http.NewServeMux()
+	stale.HandleFunc("GET "+PathManifest, func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"epoch":0,"checkpoint_seq":0,"oldest_seq":1,"durable_seq":9,"durable_off":0,"chain":""}`)
+	})
+	stale.HandleFunc("GET "+PathTail, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(hdrConflict, "epoch")
+		w.Header().Set(hdrEpoch, "0")
+		http.Error(w, "stale epoch", http.StatusConflict)
+	})
+	p.setInner(stale)
+
+	waitFor(t, "halt on epoch regression", func() bool { return f.Status().Halted })
+	st := f.Status()
+	if !strings.Contains(st.Err, "regressed") {
+		t.Fatalf("halt reason %q, want an epoch regression", st.Err)
+	}
+	if got := len(rec.applied()); got != applied {
+		t.Fatalf("applied %d groups after the regression, had %d before — nothing may apply", got, applied)
+	}
+	// The halted follower keeps its cursor: reads serve the last good state.
+	if st.AppliedSeq != 1 || st.AppliedOff == 0 {
+		t.Fatalf("halted follower lost its cursor: %+v", st)
+	}
+}
+
+// TestFollowerAdoptsHigherEpoch restarts the leader (epoch bump, same
+// history): the follower must adopt the new epoch and keep applying.
+func TestFollowerAdoptsHigherEpoch(t *testing.T) {
+	ld := newLeader(t)
+	ld.append(t, 3)
+	p, srv := newChaos(t, ld)
+	f, rec := startFollower(t, t.TempDir(), srv.URL, nil)
+	waitFor(t, "catch-up", func() bool { return caughtUp(f, ld) })
+
+	// "Restart" the leader: bump its epoch and serve under a new Source.
+	epoch2, err := BumpEpoch(ld.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux2 := http.NewServeMux()
+	NewSource(ld.dir, epoch2, ld.log).Register(mux2)
+	p.setInner(mux2)
+
+	ld.append(t, 4)
+	waitFor(t, "catch-up under the new epoch", func() bool {
+		return f.Status().Epoch == epoch2 && caughtUp(f, ld)
+	})
+	if names := rec.applied(); len(names) != 7 {
+		t.Fatalf("applied %d groups across the epoch bump, want 7", len(names))
+	}
+	if st := f.Status(); st.Halted {
+		t.Fatalf("an epoch advance is not a fault: %+v", st)
+	}
+}
+
+// TestShippedPrefixAtEveryByteBoundary fetches the full shipped segment once
+// and re-verifies it truncated at every byte: the chained scan must accept
+// exactly the whole-group prefix and never error — the property that makes
+// torn deliveries safely retryable at any cut point.
+func TestShippedPrefixAtEveryByteBoundary(t *testing.T) {
+	ld := newLeader(t)
+	ld.append(t, 8)
+	c := NewClient(ld.srv.URL, nil)
+	chunk, err := c.Tail(t.Context(), ld.epoch, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offs, err := wal.RecordOffsets(wal.SegmentFile(ld.dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut <= len(chunk.Data); cut++ {
+		groups, valid, _, err := wal.ScanChained(chunk.Data[:cut], wal.Chain{})
+		if err != nil {
+			t.Fatalf("cut %d: %v (a truncated delivery must read as torn, never as corrupt)", cut, err)
+		}
+		wantGroups, wantValid := 0, int64(0)
+		for i, end := range offs {
+			if int64(cut) >= end {
+				wantGroups, wantValid = i+1, end
+			}
+		}
+		if len(groups) != wantGroups || valid != wantValid {
+			t.Fatalf("cut %d: scanned %d groups to offset %d, want %d groups to %d",
+				cut, len(groups), valid, wantGroups, wantValid)
+		}
+	}
+}
+
+func TestClientDetectsMisdeliveryHeaders(t *testing.T) {
+	// A response whose echoed cursor disagrees with the request is rejected
+	// before any byte is parsed.
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+PathTail, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(hdrEpoch, "1")
+		w.Header().Set(hdrSeq, "1")
+		w.Header().Set(hdrOff, "999") // request will carry off=0
+		w.Header().Set(hdrSealed, "0")
+		w.Header().Set(hdrDurableSeq, "1")
+		w.Header().Set(hdrDurableOff, "1000")
+		w.Write([]byte("junk"))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	c := NewClient(srv.URL, nil)
+	_, err := c.Tail(t.Context(), 1, 1, 0, 0)
+	if !errors.Is(err, ErrMisdelivery) {
+		t.Fatalf("mislabeled delivery returned %v, want ErrMisdelivery", err)
+	}
+}
+
+// TestFollowerRollsAcrossSealedSegments drives the follower through two live
+// segment rotations: each sealed delivery rolls its cursor to the next
+// segment and the mirror stays byte-identical file for file.
+func TestFollowerRollsAcrossSealedSegments(t *testing.T) {
+	ld := newLeader(t)
+	ld.append(t, 3)
+	fdir := t.TempDir()
+	f, rec := startFollower(t, fdir, ld.srv.URL, nil)
+	waitFor(t, "segment 1 catch-up", func() bool { return caughtUp(f, ld) })
+
+	// Seal segment 1 and keep writing; no checkpoint, so the sealed file
+	// stays shippable.
+	if _, err := ld.log.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	ld.append(t, 4)
+	waitFor(t, "segment 2 catch-up", func() bool { return caughtUp(f, ld) })
+	if st := f.Status(); st.AppliedSeq != 2 || st.Halted {
+		t.Fatalf("after first roll: %+v", st)
+	}
+
+	if _, err := ld.log.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	ld.append(t, 2)
+	waitFor(t, "segment 3 catch-up", func() bool { return caughtUp(f, ld) })
+	st := f.Status()
+	if st.AppliedSeq != 3 || st.Halted || st.Err != "" {
+		t.Fatalf("after second roll: %+v", st)
+	}
+	if got := rec.applied(); len(got) != 9 {
+		t.Fatalf("applied %d groups across three segments, want 9: %v", len(got), got)
+	}
+	if lag := st.LagBytes(); lag != 0 {
+		t.Fatalf("caught-up follower reports %d lag bytes", lag)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		assertMirroredBytes(t, ld.dir, fdir, seq)
+	}
+}
+
+// TestTailGoneAfterCompaction: once a checkpoint deletes a segment, a cursor
+// inside it gets 404/ErrGone from every endpoint — re-bootstrap territory,
+// never a silent skip.
+func TestTailGoneAfterCompaction(t *testing.T) {
+	ld := newLeader(t)
+	ld.append(t, 3)
+	covered, err := ld.log.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := wal.Recover(ld.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ld.log.WriteCheckpoint(covered, rec.Graph, rec.Store); err != nil {
+		t.Fatal(err)
+	}
+	ld.append(t, 1)
+
+	c := NewClient(ld.srv.URL, nil)
+	ctx := context.Background()
+	if _, err := c.Tail(ctx, ld.epoch, 1, 0, 0); !errors.Is(err, ErrGone) {
+		t.Fatalf("tail into compacted segment: %v, want ErrGone", err)
+	}
+	if _, err := c.Checkpoint(ctx, 99); !errors.Is(err, ErrGone) {
+		t.Fatalf("missing checkpoint download: %v, want ErrGone", err)
+	}
+	if got := ld.src.Epoch(); got != ld.epoch {
+		t.Fatalf("Source.Epoch %d, want %d", got, ld.epoch)
+	}
+}
+
+// TestLagBytes pins the lag gauge's three regimes.
+func TestLagBytes(t *testing.T) {
+	cases := []struct {
+		name string
+		st   Status
+		want int64
+	}{
+		{"same segment", Status{AppliedSeq: 2, AppliedOff: 100, LeaderSeq: 2, LeaderOff: 340}, 240},
+		{"caught up", Status{AppliedSeq: 2, AppliedOff: 340, LeaderSeq: 2, LeaderOff: 340}, 0},
+		{"segments behind", Status{AppliedSeq: 1, AppliedOff: 900, LeaderSeq: 3, LeaderOff: 50}, 50},
+		{"ahead (clamped)", Status{AppliedSeq: 2, AppliedOff: 400, LeaderSeq: 2, LeaderOff: 340}, 0},
+		{"stale leader info", Status{AppliedSeq: 3, AppliedOff: 10, LeaderSeq: 2, LeaderOff: 340}, 0},
+	}
+	for _, c := range cases {
+		if got := c.st.LagBytes(); got != c.want {
+			t.Errorf("%s: LagBytes() = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestEpochFile covers the persisted-epoch edge cases: absent reads as zero,
+// garbage is an error (not a silent restart at epoch 0), bumps are
+// monotonic and durable.
+func TestEpochFile(t *testing.T) {
+	dir := t.TempDir()
+	if e, err := ReadEpoch(dir); err != nil || e != 0 {
+		t.Fatalf("absent epoch file: %d, %v", e, err)
+	}
+	if e, err := BumpEpoch(dir); err != nil || e != 1 {
+		t.Fatalf("first bump: %d, %v", e, err)
+	}
+	if e, err := BumpEpoch(dir); err != nil || e != 2 {
+		t.Fatalf("second bump: %d, %v", e, err)
+	}
+	if err := WriteEpoch(dir, 7); err != nil {
+		t.Fatal(err)
+	}
+	if e, err := ReadEpoch(dir); err != nil || e != 7 {
+		t.Fatalf("after WriteEpoch(7): %d, %v", e, err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, epochFile), []byte("not-a-number\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadEpoch(dir); err == nil {
+		t.Fatal("garbage epoch file read back without error")
+	}
+}

@@ -1,0 +1,263 @@
+package replica
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"reachac/internal/wal"
+)
+
+// maxChunk bounds one tail response body; a lagging follower catches up in
+// several round trips rather than one giant read.
+const maxChunk = 1 << 20
+
+// maxWait bounds one long-poll, so an abandoned connection is reclaimed.
+const maxWait = 30 * time.Second
+
+// Source serves a leader's log directory to followers. It reads segment
+// files by path and the shipping frontier from the live wal.Log; it never
+// writes, so it is safe beside the appending facade.
+type Source struct {
+	dir   string
+	epoch uint64
+	log   *wal.Log
+}
+
+// NewSource builds a Source over the leader's log directory, leadership
+// epoch and live log.
+func NewSource(dir string, epoch uint64, log *wal.Log) *Source {
+	return &Source{dir: dir, epoch: epoch, log: log}
+}
+
+// Epoch returns the leadership epoch the source serves under.
+func (s *Source) Epoch() uint64 { return s.epoch }
+
+// Register mounts the replication endpoints on mux.
+func (s *Source) Register(mux *http.ServeMux) {
+	mux.HandleFunc("GET "+PathManifest, s.handleManifest)
+	mux.HandleFunc("GET "+PathSegments, s.handleSegments)
+	mux.HandleFunc("GET "+PathTail, s.handleTail)
+}
+
+func (s *Source) manifest() Manifest {
+	dseq, doff := s.log.DurablePos()
+	chain := s.log.Chain()
+	ckpt := s.log.CheckpointSeq()
+	return Manifest{
+		Epoch:         s.epoch,
+		CheckpointSeq: ckpt,
+		OldestSeq:     ckpt + 1,
+		DurableSeq:    dseq,
+		DurableOff:    doff,
+		Chain:         fmt.Sprintf("%x", chain),
+	}
+}
+
+func (s *Source) handleManifest(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.manifest())
+}
+
+// handleSegments serves raw bootstrap files: ?checkpoint=N for the
+// checkpoint covering segment N, ?seq=N for a sealed segment.
+func (s *Source) handleSegments(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var path string
+	switch {
+	case q.Get("checkpoint") != "":
+		seq, err := strconv.ParseUint(q.Get("checkpoint"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad checkpoint param", http.StatusBadRequest)
+			return
+		}
+		path = wal.CheckpointFile(s.dir, seq)
+	case q.Get("seq") != "":
+		seq, err := strconv.ParseUint(q.Get("seq"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad seq param", http.StatusBadRequest)
+			return
+		}
+		if dseq, _ := s.log.DurablePos(); seq >= dseq {
+			// The live segment is served by the tail endpoint, where the
+			// durable boundary is respected.
+			http.Error(w, "segment is not sealed", http.StatusConflict)
+			return
+		}
+		path = wal.SegmentFile(s.dir, seq)
+	default:
+		http.Error(w, "need checkpoint or seq param", http.StatusBadRequest)
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		http.Error(w, "no such file", http.StatusNotFound)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(hdrEpoch, strconv.FormatUint(s.epoch, 10))
+	io.Copy(w, f)
+}
+
+// handleTail answers one long-poll: the durable bytes of the requested
+// segment from the requested offset, or 204 when the wait expires with the
+// follower already caught up.
+func (s *Source) handleTail(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	epoch, err1 := strconv.ParseUint(q.Get("epoch"), 10, 64)
+	seq, err2 := strconv.ParseUint(q.Get("seq"), 10, 64)
+	off, err3 := strconv.ParseInt(q.Get("off"), 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil || off < 0 || seq == 0 {
+		http.Error(w, "need epoch, seq and off params", http.StatusBadRequest)
+		return
+	}
+	wait := time.Duration(0)
+	if ws := q.Get("wait"); ws != "" {
+		ms, err := strconv.ParseInt(ws, 10, 64)
+		if err != nil || ms < 0 {
+			http.Error(w, "bad wait param", http.StatusBadRequest)
+			return
+		}
+		wait = min(time.Duration(ms)*time.Millisecond, maxWait)
+	}
+	if epoch != s.epoch {
+		s.conflict(w, "epoch", fmt.Sprintf("leader epoch is %d, request carries %d", s.epoch, epoch))
+		return
+	}
+
+	deadline := time.Now().Add(wait)
+	for {
+		dseq, doff := s.log.DurablePos()
+		switch {
+		case seq > dseq || (seq == dseq && off > doff):
+			s.conflict(w, "ahead", fmt.Sprintf(
+				"request cursor (%d,%d) is past the durable position (%d,%d)", seq, off, dseq, doff))
+			return
+		case seq < dseq:
+			// A sealed, fully durable segment: serve to its end (or a chunk
+			// of it), unless checkpointing already deleted it.
+			fi, err := os.Stat(wal.SegmentFile(s.dir, seq))
+			if err != nil {
+				s.gone(w, seq)
+				return
+			}
+			size := fi.Size()
+			if off > size {
+				s.conflict(w, "ahead", fmt.Sprintf(
+					"request offset %d is past sealed segment %d's %d bytes", off, seq, size))
+				return
+			}
+			s.serve(w, seq, off, size, true, dseq, doff)
+			return
+		case off < doff:
+			// The live segment's durable prefix.
+			s.serve(w, seq, off, doff, false, dseq, doff)
+			return
+		}
+		// Caught up: wait for the frontier to advance, then re-evaluate.
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			s.writeCursor(w, seq, off, false, dseq, doff)
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		watch := s.log.DurableWatch()
+		if nseq, noff := s.log.DurablePos(); nseq != dseq || noff != doff {
+			continue // advanced between the position read and the watch arm
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-watch:
+		case <-t.C:
+		case <-r.Context().Done():
+			t.Stop()
+			return
+		}
+		t.Stop()
+	}
+}
+
+// serve answers with whole frames of segment seq from off toward limit:
+// roughly maxChunk bytes, cut at a frame boundary (never mid-frame, so every
+// delivery is independently verifiable), always at least one frame. sealed
+// marks limit as the segment's final byte; the response's Sealed header is
+// set only when the delivery reaches it.
+func (s *Source) serve(w http.ResponseWriter, seq uint64, off, limit int64, sealed bool, dseq uint64, doff int64) {
+	f, err := os.Open(wal.SegmentFile(s.dir, seq))
+	if err != nil {
+		s.gone(w, seq)
+		return
+	}
+	defer f.Close()
+	data, err := readFrames(f, off, limit)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("reading segment %d: %v", seq, err), http.StatusInternalServerError)
+		return
+	}
+	s.writeCursor(w, seq, off, sealed && off+int64(len(data)) == limit, dseq, doff)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Write(data)
+}
+
+// readFrames reads whole frames from off (a frame boundary, as every cursor
+// is) up to limit (likewise), stopping at the last frame boundary within
+// maxChunk — but always admitting the first frame, however large.
+func readFrames(f *os.File, off, limit int64) ([]byte, error) {
+	buf := make([]byte, min(limit-off, maxChunk))
+	if _, err := f.ReadAt(buf, off); err != nil {
+		return nil, err
+	}
+	end := int64(0) // last frame boundary found, relative to off
+	for end+8 <= int64(len(buf)) {
+		n := int64(binary.LittleEndian.Uint32(buf[end : end+4]))
+		next := end + 8 + n
+		if next > limit-off {
+			return nil, fmt.Errorf("frame at offset %d overruns the durable boundary", off+end)
+		}
+		if next > int64(len(buf)) {
+			if end == 0 {
+				// The very first frame is larger than maxChunk: serve it whole.
+				buf = make([]byte, next)
+				if _, err := f.ReadAt(buf, off); err != nil {
+					return nil, err
+				}
+				return buf, nil
+			}
+			break // cut before the frame that doesn't fit
+		}
+		end = next
+	}
+	return buf[:end], nil
+}
+
+func (s *Source) writeCursor(w http.ResponseWriter, seq uint64, off int64, sealed bool, dseq uint64, doff int64) {
+	h := w.Header()
+	h.Set(hdrEpoch, strconv.FormatUint(s.epoch, 10))
+	h.Set(hdrSeq, strconv.FormatUint(seq, 10))
+	h.Set(hdrOff, strconv.FormatInt(off, 10))
+	if sealed {
+		h.Set(hdrSealed, "1")
+	} else {
+		h.Set(hdrSealed, "0")
+	}
+	h.Set(hdrDurableSeq, strconv.FormatUint(dseq, 10))
+	h.Set(hdrDurableOff, strconv.FormatInt(doff, 10))
+}
+
+func (s *Source) conflict(w http.ResponseWriter, kind, msg string) {
+	w.Header().Set(hdrConflict, kind)
+	w.Header().Set(hdrEpoch, strconv.FormatUint(s.epoch, 10))
+	http.Error(w, msg, http.StatusConflict)
+}
+
+func (s *Source) gone(w http.ResponseWriter, seq uint64) {
+	w.Header().Set(hdrEpoch, strconv.FormatUint(s.epoch, 10))
+	http.Error(w, fmt.Sprintf("segment %d was compacted away", seq), http.StatusNotFound)
+}

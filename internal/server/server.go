@@ -118,10 +118,20 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET "+httpapi.PathPolicies, s.handleGetPolicies)
 	s.mux.HandleFunc("PUT "+httpapi.PathPolicies, s.handlePutPolicies)
 	s.mux.HandleFunc("GET "+httpapi.PathAudit, s.handleAudit)
+	if src := s.net.ReplicaSource(); src != nil {
+		// A durable leader is followable: mount the WAL-shipping endpoints.
+		src.Register(s.mux)
+	}
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. A follower stamps every response with
+// its staleness bound, so clients can judge the freshness of what they read.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.net.Follower() {
+		rs := s.net.ReplicaStatus()
+		w.Header().Set(httpapi.HeaderStaleness,
+			strconv.FormatInt(time.Since(rs.LastContact).Milliseconds(), 10))
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -243,14 +253,29 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	st := s.net.Stats()
 	resp := httpapi.HealthResponse{
 		Status:        "ok",
+		Role:          "standalone",
 		Engine:        st.Engine,
 		Durable:       st.Durable,
 		Users:         st.Users,
 		Relationships: st.Relationships,
 	}
 	if st.Durable {
+		resp.Role = "leader"
 		rec := s.net.Recovery()
 		resp.Recovery = &httpapi.Recovery{Groups: rec.Groups, TornTail: rec.TornTail, CheckpointSeq: rec.CheckpointSeq}
+	}
+	if s.net.Follower() {
+		rs := s.net.ReplicaStatus()
+		resp.Role = "follower"
+		resp.Replica = &httpapi.Replica{
+			Epoch:       rs.Epoch,
+			Connected:   rs.Connected,
+			Halted:      rs.Halted,
+			AppliedSeq:  rs.AppliedSeq,
+			AppliedOff:  rs.AppliedOff,
+			LagBytes:    rs.LagBytes(),
+			StalenessMS: time.Since(rs.LastContact).Milliseconds(),
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

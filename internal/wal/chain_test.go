@@ -1,0 +1,387 @@
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"hash/crc32"
+	"os"
+	"testing"
+
+	"reachac/internal/core"
+	"reachac/internal/graph"
+)
+
+// flipCase flips the 0x20 case bit of the last ASCII letter in a chained
+// payload — a tamper that keeps the JSON decodable and the prev link intact,
+// so only the recomputed chain can expose it. The last letter is always past
+// the hex prev field.
+func flipCase(t *testing.T, payload []byte) {
+	t.Helper()
+	for i := len(payload) - 1; i >= 0; i-- {
+		c := payload[i]
+		if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+			payload[i] ^= 0x20
+			return
+		}
+	}
+	t.Fatal("payload holds no letter to tamper")
+}
+
+// buildChainedLog writes the standard op sequence into a fresh log dir and
+// returns the segment path plus the per-record end offsets.
+func buildChainedLog(t *testing.T) (dir string, seg string, offs []int64) {
+	t.Helper()
+	dir = t.TempDir()
+	l, _ := openLog(t, dir, Options{})
+	for _, g := range buildOps(t) {
+		if err := l.Append(g); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	seg = segmentPath(dir, 1)
+	offs, err := RecordOffsets(seg)
+	if err != nil {
+		t.Fatalf("RecordOffsets: %v", err)
+	}
+	return dir, seg, offs
+}
+
+func TestVerifyChainCleanLog(t *testing.T) {
+	dir, _, offs := buildChainedLog(t)
+	rep, err := VerifyChain(dir)
+	if err != nil {
+		t.Fatalf("VerifyChain on a clean log: %v", err)
+	}
+	if rep.Groups != len(offs) || rep.Segments != 1 || rep.CheckpointSeq != 0 {
+		t.Fatalf("report %+v, want %d groups in 1 segment from genesis", rep, len(offs))
+	}
+	if rep.Anchor != hex.EncodeToString(make([]byte, 32)) {
+		t.Fatalf("genesis anchor = %s", rep.Anchor)
+	}
+	// The reported head chain must match what recovery recomputes.
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Chain != hex.EncodeToString(rec.Chain[:]) {
+		t.Fatalf("verifier chain %s != recovery chain %x", rep.Chain, rec.Chain)
+	}
+}
+
+// TestVerifyChainDetectsEveryFlippedByte flips each byte of the segment in
+// turn and asserts VerifyChain fails every time, reporting a position no
+// later than the record containing the flip (a flipped frame header can
+// shorten the valid prefix, which reports at the same record's offset).
+func TestVerifyChainDetectsEveryFlippedByte(t *testing.T) {
+	_, seg, offs := buildChainedLog(t)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordStart := func(pos int64) int64 {
+		start := int64(0)
+		for _, end := range offs {
+			if pos < end {
+				return start
+			}
+			start = end
+		}
+		return start
+	}
+	for pos := range data {
+		d := t.TempDir()
+		mut := append([]byte(nil), data...)
+		mut[pos] ^= 0x20
+		if err := os.WriteFile(segmentPath(d, 1), mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := VerifyChain(d)
+		if err == nil {
+			t.Fatalf("flip at byte %d went undetected", pos)
+		}
+		var ce *ChainError
+		if !errors.As(err, &ce) {
+			t.Fatalf("flip at byte %d: error %v is not a ChainError", pos, err)
+		}
+		if want := recordStart(int64(pos)); ce.Offset > want {
+			t.Fatalf("flip at byte %d (record starting %d) reported at offset %d, past the record", pos, want, ce.Offset)
+		}
+	}
+}
+
+// TestVerifyChainDetectsCRCFixedTamper re-CRCs a tampered payload so the
+// framing is self-consistent: only the hash chain can catch it. Every record
+// except the final one must be pinpointed exactly (the head of the log has
+// no successor to contradict it — that is what anchor checkpoints bound).
+func TestVerifyChainDetectsCRCFixedTamper(t *testing.T) {
+	_, seg, offs := buildChainedLog(t)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := int64(0)
+	for i, end := range offs[:len(offs)-1] {
+		d := t.TempDir()
+		mut := append([]byte(nil), data...)
+		// Change the case of a letter in the ops section (past the prev
+		// link): the payload stays decodable JSON with an intact link, so
+		// only the recomputed chain can expose the edit. Restore the frame
+		// CRC over the tampered payload.
+		payload := mut[start+frameHeaderSize : end]
+		flipCase(t, payload)
+		binary.LittleEndian.PutUint32(mut[start+4:start+8], crc32.Checksum(payload, crcTable))
+		if err := os.WriteFile(segmentPath(d, 1), mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var ce *ChainError
+		_, err := VerifyChain(d)
+		if !errors.As(err, &ce) {
+			t.Fatalf("CRC-fixed tamper of record %d undetected (err %v)", i, err)
+		}
+		// The chain breaks at the successor: its prev link contradicts the
+		// recomputed chain over the tampered record.
+		if ce.Index != i+1 || ce.Offset != end {
+			t.Fatalf("tamper of record %d reported at group %d offset %d, want group %d offset %d",
+				i, ce.Index, ce.Offset, i+1, end)
+		}
+		start = end
+	}
+}
+
+// TestVerifyChainDetectsSpliceAndReorder removes one record, and separately
+// swaps two adjacent records; both must be pinpointed at the first record
+// whose link no longer matches.
+func TestVerifyChainDetectsSpliceAndReorder(t *testing.T) {
+	_, seg, offs := buildChainedLog(t)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := func(i int) (int64, int64) {
+		start := int64(0)
+		if i > 0 {
+			start = offs[i-1]
+		}
+		return start, offs[i]
+	}
+
+	// Splice record 2 out: record 3 (now at record 2's old offset) carries a
+	// prev over the missing record.
+	s2, e2 := bounds(2)
+	spliced := append(append([]byte(nil), data[:s2]...), data[e2:]...)
+	d := t.TempDir()
+	if err := os.WriteFile(segmentPath(d, 1), spliced, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var ce *ChainError
+	if _, err := VerifyChain(d); !errors.As(err, &ce) {
+		t.Fatalf("splice undetected (err %v)", err)
+	} else if ce.Index != 2 || ce.Offset != s2 {
+		t.Fatalf("splice reported at group %d offset %d, want group 2 offset %d", ce.Index, ce.Offset, s2)
+	}
+
+	// Swap records 1 and 2: record 1's slot now holds a record whose prev
+	// points two back.
+	s1, e1 := bounds(1)
+	swapped := append([]byte(nil), data[:s1]...)
+	swapped = append(swapped, data[e1:e2]...)
+	swapped = append(swapped, data[s1:e1]...)
+	swapped = append(swapped, data[e2:]...)
+	d = t.TempDir()
+	if err := os.WriteFile(segmentPath(d, 1), swapped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyChain(d); !errors.As(err, &ce) {
+		t.Fatalf("reorder undetected (err %v)", err)
+	} else if ce.Index != 1 || ce.Offset != s1 {
+		t.Fatalf("reorder reported at group %d offset %d, want group 1 offset %d", ce.Index, ce.Offset, s1)
+	}
+}
+
+// TestVerifyChainAcrossCheckpointAnchor verifies that after rotation +
+// checkpoint the walk resumes from the recorded anchor, and that tampering
+// with the anchor itself is caught at the first post-checkpoint record.
+func TestVerifyChainAcrossCheckpointAnchor(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, Options{})
+	groups := buildOps(t)
+	for _, g := range groups[:3] {
+		if err := l.Append(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	covered, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range groups[3:] {
+		if err := l.Append(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, s := graph.New(), core.NewStore()
+	for _, grp := range groups[:3] {
+		for _, op := range grp {
+			if s, err = op.Apply(g, s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := l.WriteCheckpoint(covered, g, s); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	rep, err := VerifyChain(dir)
+	if err != nil {
+		t.Fatalf("VerifyChain across checkpoint: %v", err)
+	}
+	if rep.CheckpointSeq != 1 || rep.Groups != len(groups)-3 {
+		t.Fatalf("report %+v, want anchor at checkpoint 1 and %d tail groups", rep, len(groups)-3)
+	}
+	if rep.Anchor == hex.EncodeToString(make([]byte, 32)) {
+		t.Fatal("anchor after three groups is still genesis")
+	}
+
+	// Forge the anchor: rewrite the checkpoint with a zero chain. The first
+	// tail record's prev link contradicts it.
+	if err := os.Remove(checkpointPath(dir, 1)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(checkpointPath(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeCheckpoint(f, g, s, Chain{}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var ce *ChainError
+	if _, err := VerifyChain(dir); !errors.As(err, &ce) {
+		t.Fatalf("forged anchor undetected (err %v)", err)
+	} else if ce.Seq != 2 || ce.Index != 0 {
+		t.Fatalf("forged anchor reported at segment %d group %d, want segment 2 group 0", ce.Seq, ce.Index)
+	}
+}
+
+// TestRecoveryRejectsChainMismatch proves the live recovery path (not just
+// the offline verifier) refuses a CRC-valid record whose link is wrong: no
+// crash produces one, so it must never be silently replayed — even on the
+// newest segment, where torn frames ARE tolerated.
+func TestRecoveryRejectsChainMismatch(t *testing.T) {
+	_, seg, offs := buildChainedLog(t)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper the second-to-last record (CRC fixed up, JSON kept valid): the
+	// final record's prev link must trip recovery.
+	start, end := offs[len(offs)-3], offs[len(offs)-2]
+	payload := data[start+frameHeaderSize : end]
+	flipCase(t, payload)
+	binary.LittleEndian.PutUint32(data[start+4:start+8], crc32.Checksum(payload, crcTable))
+	d := t.TempDir()
+	if err := os.WriteFile(segmentPath(d, 1), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(d, Options{}); err == nil {
+		t.Fatal("Open replayed a log with a broken chain link")
+	}
+}
+
+// TestScanChainedVerifiesShippedBytes exercises the follower-side verifier:
+// whole verified frames advance the chain, a torn suffix ends the prefix
+// without error, and a CRC-valid frame with a wrong link is an error.
+func TestScanChainedVerifiesShippedBytes(t *testing.T) {
+	_, seg, offs := buildChainedLog(t)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	groups, valid, next, err := ScanChained(data, Chain{})
+	if err != nil {
+		t.Fatalf("ScanChained over clean bytes: %v", err)
+	}
+	if len(groups) != len(offs) || valid != int64(len(data)) {
+		t.Fatalf("verified %d groups / %d bytes, want %d / %d", len(groups), valid, len(offs), len(data))
+	}
+
+	// Torn delivery: prefix verifies, remainder waits for the next chunk.
+	groups2, valid2, mid, err := ScanChained(data[:offs[2]+5], Chain{})
+	if err != nil {
+		t.Fatalf("ScanChained over torn chunk: %v", err)
+	}
+	if len(groups2) != 3 || valid2 != offs[2] {
+		t.Fatalf("torn chunk verified %d groups to %d, want 3 to %d", len(groups2), valid2, offs[2])
+	}
+	// Resuming from the reported position and chain consumes the rest.
+	groups3, valid3, end, err := ScanChained(data[valid2:], mid)
+	if err != nil || int64(len(data))-valid2 != valid3 || len(groups2)+len(groups3) != len(offs) {
+		t.Fatalf("resume failed: %d groups / %d bytes, err %v", len(groups3), valid3, err)
+	}
+	if end != next {
+		t.Fatal("resumed chain diverged from one-shot chain")
+	}
+
+	// Wrong starting chain: the first record's link must reject the chunk.
+	if _, _, _, err := ScanChained(data, next); err == nil {
+		t.Fatal("ScanChained accepted bytes against the wrong chain")
+	}
+}
+
+// FuzzChainVerify feeds arbitrary bytes to the offline verifier as a segment
+// file: it must never panic, and any reported ChainError must point inside
+// the file.
+func FuzzChainVerify(f *testing.F) {
+	var valid []byte
+	var chain Chain
+	for _, g := range [][]Op{
+		{GraphOp(graph.Delta{Op: graph.OpAddNode, Name: "alice"})},
+		{GraphOp(graph.Delta{Op: graph.OpAddNode, Name: "bob"}),
+			GraphOp(graph.Delta{Op: graph.OpAddEdge, From: 0, To: 1, Label: "friend"})},
+		{ShareOp("photo", 0, "rule-1", []string{"friend+[1,2]"})},
+	} {
+		var err error
+		valid, chain, err = encodeFrame(valid, chain, g)
+		if err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(valid, 0)
+	f.Add(valid, 17)
+	f.Add(valid[:len(valid)-4], -1)
+	f.Add([]byte("{}"), 3)
+	f.Add([]byte{}, 0)
+
+	f.Fuzz(func(t *testing.T, data []byte, flip int) {
+		mut := append([]byte(nil), data...)
+		if len(mut) > 0 && flip >= 0 {
+			mut[flip%len(mut)] ^= 1 << (flip % 8)
+		}
+		// In-memory chunk verification must not panic and must keep the
+		// verified prefix within bounds.
+		if _, valid, _, _ := ScanChained(mut, Chain{}); valid < 0 || valid > int64(len(mut)) {
+			t.Fatalf("verified prefix %d out of bounds (%d bytes)", valid, len(mut))
+		}
+		// Whole-directory verification likewise.
+		dir := t.TempDir()
+		if err := os.WriteFile(segmentPath(dir, 1), mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := VerifyChain(dir)
+		var ce *ChainError
+		if errors.As(err, &ce) {
+			if ce.Offset < 0 || ce.Offset > int64(len(mut)) {
+				t.Fatalf("ChainError offset %d out of bounds (%d bytes)", ce.Offset, len(mut))
+			}
+			if ce.Seq != 1 {
+				t.Fatalf("ChainError names segment %d, only segment 1 exists", ce.Seq)
+			}
+		}
+	})
+}

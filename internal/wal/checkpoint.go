@@ -3,6 +3,7 @@ package wal
 import (
 	"bufio"
 	"bytes"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
@@ -31,10 +32,16 @@ type checkpointHeader struct {
 	GraphLen int64  `json:"graph"`
 	StoreLen int64  `json:"policy"`
 	CRC      uint32 `json:"crc"`
+	// Chain anchors the tamper-evident hash chain: the chain value at the
+	// rotation boundary this checkpoint covers, hex-encoded. Empty on
+	// pre-chain checkpoints and plain state streams (WriteState), which
+	// anchor at the genesis (all-zero) chain.
+	Chain string `json:"chain,omitempty"`
 }
 
-// writeCheckpoint serializes a consistent (graph, store) pair to w.
-func writeCheckpoint(w io.Writer, g *graph.Graph, s *core.Store) error {
+// writeCheckpoint serializes a consistent (graph, store) pair to w, with
+// chain as the recorded anchor.
+func writeCheckpoint(w io.Writer, g *graph.Graph, s *core.Store, chain Chain) error {
 	var gb, sb bytes.Buffer
 	if err := g.Write(&gb); err != nil {
 		return err
@@ -49,6 +56,7 @@ func writeCheckpoint(w io.Writer, g *graph.Graph, s *core.Store) error {
 		GraphLen: int64(gb.Len()),
 		StoreLen: int64(sb.Len()),
 		CRC:      crc,
+		Chain:    hex.EncodeToString(chain[:]),
 	})
 	if err != nil {
 		return err
@@ -65,51 +73,60 @@ func writeCheckpoint(w io.Writer, g *graph.Graph, s *core.Store) error {
 // cannot drive a giant allocation.
 const maxCheckpointSection = 1 << 31
 
-// readCheckpoint deserializes a checkpoint written by writeCheckpoint.
-func readCheckpoint(r io.Reader) (*graph.Graph, *core.Store, error) {
+// readCheckpoint deserializes a checkpoint written by writeCheckpoint,
+// returning the recorded chain anchor alongside the state.
+func readCheckpoint(r io.Reader) (*graph.Graph, *core.Store, Chain, error) {
+	var chain Chain
 	br := bufio.NewReader(r)
 	line, err := br.ReadBytes('\n')
 	if err != nil {
-		return nil, nil, fmt.Errorf("wal: reading checkpoint header: %w", err)
+		return nil, nil, chain, fmt.Errorf("wal: reading checkpoint header: %w", err)
 	}
 	var hdr checkpointHeader
 	if err := json.Unmarshal(line, &hdr); err != nil {
-		return nil, nil, fmt.Errorf("wal: decoding checkpoint header: %w", err)
+		return nil, nil, chain, fmt.Errorf("wal: decoding checkpoint header: %w", err)
 	}
 	if hdr.Magic != checkpointMagic {
-		return nil, nil, fmt.Errorf("wal: bad checkpoint magic %q", hdr.Magic)
+		return nil, nil, chain, fmt.Errorf("wal: bad checkpoint magic %q", hdr.Magic)
 	}
 	if hdr.GraphLen < 0 || hdr.StoreLen < 0 || hdr.GraphLen > maxCheckpointSection || hdr.StoreLen > maxCheckpointSection {
-		return nil, nil, fmt.Errorf("wal: absurd checkpoint section lengths (%d, %d)", hdr.GraphLen, hdr.StoreLen)
+		return nil, nil, chain, fmt.Errorf("wal: absurd checkpoint section lengths (%d, %d)", hdr.GraphLen, hdr.StoreLen)
+	}
+	if hdr.Chain != "" {
+		raw, err := hex.DecodeString(hdr.Chain)
+		if err != nil || len(raw) != len(chain) {
+			return nil, nil, chain, fmt.Errorf("wal: malformed checkpoint chain anchor %q", hdr.Chain)
+		}
+		copy(chain[:], raw)
 	}
 	gb := make([]byte, hdr.GraphLen)
 	if _, err := io.ReadFull(br, gb); err != nil {
-		return nil, nil, fmt.Errorf("wal: reading checkpoint graph section: %w", err)
+		return nil, nil, chain, fmt.Errorf("wal: reading checkpoint graph section: %w", err)
 	}
 	sb := make([]byte, hdr.StoreLen)
 	if _, err := io.ReadFull(br, sb); err != nil {
-		return nil, nil, fmt.Errorf("wal: reading checkpoint policy section: %w", err)
+		return nil, nil, chain, fmt.Errorf("wal: reading checkpoint policy section: %w", err)
 	}
 	crc := crc32.Checksum(gb, crcTable)
 	crc = crc32.Update(crc, crcTable, sb)
 	if crc != hdr.CRC {
-		return nil, nil, fmt.Errorf("wal: checkpoint checksum mismatch")
+		return nil, nil, chain, fmt.Errorf("wal: checkpoint checksum mismatch")
 	}
 	g, err := graph.Read(bytes.NewReader(gb))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, chain, err
 	}
 	s, err := core.ReadStore(bytes.NewReader(sb), g)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, chain, err
 	}
-	return g, s, nil
+	return g, s, chain, nil
 }
 
-func readCheckpointFile(path string) (*graph.Graph, *core.Store, error) {
+func readCheckpointFile(path string) (*graph.Graph, *core.Store, Chain, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, Chain{}, err
 	}
 	defer f.Close()
 	return readCheckpoint(f)
@@ -117,12 +134,13 @@ func readCheckpointFile(path string) (*graph.Graph, *core.Store, error) {
 
 // WriteState serializes a consistent (graph, store) pair in checkpoint
 // format; the facade's Network.SaveState exposes it as the one-stream
-// whole-network persistence format.
+// whole-network persistence format. State streams record the genesis anchor.
 func WriteState(w io.Writer, g *graph.Graph, s *core.Store) error {
-	return writeCheckpoint(w, g, s)
+	return writeCheckpoint(w, g, s, Chain{})
 }
 
 // ReadState deserializes a stream written by WriteState.
 func ReadState(r io.Reader) (*graph.Graph, *core.Store, error) {
-	return readCheckpoint(r)
+	g, s, _, err := readCheckpoint(r)
+	return g, s, err
 }

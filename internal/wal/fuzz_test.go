@@ -27,9 +27,10 @@ func FuzzWALReplay(f *testing.F) {
 		{ShareOp("photo", 0, "rule-1", []string{"friend+[1,2]"})},
 		{RevokeOp("photo", "rule-1")},
 	}
+	var chain Chain
 	for _, g := range groups {
 		var err error
-		valid, err = encodeFrame(valid, g)
+		valid, chain, err = encodeFrame(valid, chain, g)
 		if err != nil {
 			f.Fatal(err)
 		}
@@ -51,8 +52,7 @@ func FuzzWALReplay(f *testing.F) {
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(junk, crcTable))
 	f.Add(append(hdr, junk...))
 	// A CRC-valid frame holding a decodable op that must fail application.
-	var dangling []byte
-	dangling, err := encodeFrame(nil, []Op{GraphOp(graph.Delta{Op: graph.OpAddEdge, From: 9, To: 10, Label: "x"})})
+	dangling, _, err := encodeFrame(nil, Chain{}, []Op{GraphOp(graph.Delta{Op: graph.OpAddEdge, From: 9, To: 10, Label: "x"})})
 	if err != nil {
 		f.Fatal(err)
 	}
@@ -107,12 +107,13 @@ func FuzzWALReplay(f *testing.F) {
 // successful open must leave an appendable log.
 func TestRecoverySurvivesFuzzSeeds(t *testing.T) {
 	var valid []byte
+	var chain Chain
 	var err error
 	for _, g := range [][]Op{
 		{GraphOp(graph.Delta{Op: graph.OpAddNode, Name: "alice"})},
 		{ShareOp("photo", 0, "rule-1", []string{"friend+[1,2]"})},
 	} {
-		if valid, err = encodeFrame(valid, g); err != nil {
+		if valid, chain, err = encodeFrame(valid, chain, g); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -121,7 +122,7 @@ func TestRecoverySurvivesFuzzSeeds(t *testing.T) {
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(junk)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(junk, crcTable))
 	crcValidJunk := append(hdr, junk...)
-	dangling, err := encodeFrame(nil, []Op{GraphOp(graph.Delta{Op: graph.OpAddEdge, From: 9, To: 10, Label: "x"})})
+	dangling, _, err := encodeFrame(nil, Chain{}, []Op{GraphOp(graph.Delta{Op: graph.OpAddEdge, From: 9, To: 10, Label: "x"})})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,20 +4,24 @@
 //
 // One record group is the unit of atomicity: it holds the ordered operations
 // of one committed mutation batch (structural graph deltas and policy
-// operations), serialized as a JSON array and framed as
+// operations), serialized as a JSON envelope and framed as
 //
 //	[length uint32 LE][crc32c(payload) uint32 LE][payload]
+//	payload = {"prev":"<hex SHA-256 chain of the previous group>","ops":[...]}
 //
 // A group either replays in full or — when the tail of the newest segment is
 // torn by a crash mid-write — is dropped in full, so recovery always lands
-// on a batch boundary. Checkpoints reuse the graph and policy-store JSON
-// writers verbatim, so the compact state format stays diffable and
-// independently readable.
+// on a batch boundary. The prev link makes the log a tamper-evident hash
+// chain (see chain.go); pre-chain logs whose payloads are bare JSON arrays
+// still replay, absorbed into the chain without a link check. Checkpoints
+// reuse the graph and policy-store JSON writers verbatim, so the compact
+// state format stays diffable and independently readable.
 package wal
 
 import (
 	"bytes"
 	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
@@ -147,20 +151,28 @@ const (
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// encodeFrame appends the framed serialization of one record group to buf.
-func encodeFrame(buf []byte, ops []Op) ([]byte, error) {
-	payload, err := json.Marshal(ops)
+// groupEnvelope is the on-disk payload of one record group: the operations
+// plus the chain link to the previous group.
+type groupEnvelope struct {
+	Prev string `json:"prev"`
+	Ops  []Op   `json:"ops"`
+}
+
+// encodeFrame appends the framed serialization of one record group to buf,
+// linking it to chain and returning the advanced chain value.
+func encodeFrame(buf []byte, chain Chain, ops []Op) ([]byte, Chain, error) {
+	payload, err := json.Marshal(groupEnvelope{Prev: hex.EncodeToString(chain[:]), Ops: ops})
 	if err != nil {
-		return buf, err
+		return buf, chain, err
 	}
 	if len(payload) > MaxRecordSize {
-		return buf, fmt.Errorf("wal: record group of %d bytes exceeds limit %d", len(payload), MaxRecordSize)
+		return buf, chain, fmt.Errorf("wal: record group of %d bytes exceeds limit %d", len(payload), MaxRecordSize)
 	}
 	var hdr [frameHeaderSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
 	buf = append(buf, hdr[:]...)
-	return append(buf, payload...), nil
+	return append(buf, payload...), chainNext(chain, payload), nil
 }
 
 // scanFrames walks the framed records in data, calling fn with each
@@ -192,11 +204,38 @@ func scanFrames(data []byte, fn func(payload []byte) bool) (valid int64) {
 	}
 }
 
-// decodeGroup parses one CRC-verified payload into its operations.
-func decodeGroup(payload []byte) ([]Op, error) {
-	var ops []Op
-	if err := json.Unmarshal(payload, &ops); err != nil {
-		return nil, fmt.Errorf("wal: undecodable record group: %w", err)
+// decodeChained parses one CRC-verified payload into its operations and,
+// for chained envelopes, the recorded previous-chain link. Legacy bare-array
+// payloads (pre-chain logs) decode with hasPrev == false: they carry no link
+// to check but are still absorbed into the running chain.
+func decodeChained(payload []byte) (ops []Op, prev Chain, hasPrev bool, err error) {
+	for _, c := range payload {
+		switch c {
+		case ' ', '\t', '\n', '\r':
+			continue
+		case '[':
+			if err := json.Unmarshal(payload, &ops); err != nil {
+				return nil, prev, false, fmt.Errorf("wal: undecodable record group: %w", err)
+			}
+			return ops, prev, false, nil
+		}
+		break
 	}
-	return ops, nil
+	var env groupEnvelope
+	if err := json.Unmarshal(payload, &env); err != nil {
+		return nil, prev, false, fmt.Errorf("wal: undecodable record group: %w", err)
+	}
+	raw, err := hex.DecodeString(env.Prev)
+	if err != nil || len(raw) != len(prev) {
+		return nil, prev, false, fmt.Errorf("wal: record group carries malformed chain link %q", env.Prev)
+	}
+	copy(prev[:], raw)
+	return env.Ops, prev, true, nil
+}
+
+// decodeGroup parses one CRC-verified payload into its operations, ignoring
+// the chain link.
+func decodeGroup(payload []byte) ([]Op, error) {
+	ops, _, _, err := decodeChained(payload)
+	return ops, err
 }

@@ -1,0 +1,173 @@
+package wal
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestShippingFrontier pins the replica-facing surface of the log: the
+// durable position is frame-aligned and advances exactly at fsync, the
+// watch channel fires on every advance, and the counters track appends.
+func TestShippingFrontier(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, Options{})
+	defer l.Close()
+
+	if seq, off := l.DurablePos(); seq != 1 || off != 0 {
+		t.Fatalf("fresh log durable at (%d,%d), want (1,0)", seq, off)
+	}
+	if l.Appends() != 0 || l.Size() != 0 || l.Fsyncs() != 0 {
+		t.Fatalf("fresh log counters: appends %d size %d fsyncs %d",
+			l.Appends(), l.Size(), l.Fsyncs())
+	}
+	if !l.Clean() {
+		t.Fatal("fresh log is not Clean")
+	}
+
+	watch := l.DurableWatch()
+	groups := buildOps(t)
+	for _, g := range groups {
+		if err := l.Append(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-watch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("durable watch never fired across six synced appends")
+	}
+	// Under SyncAlways every acknowledged append is durable: the frontier
+	// sits at the segment's exact size, on a frame boundary.
+	seq, off := l.DurablePos()
+	if seq != 1 || off != l.Size() || off == 0 {
+		t.Fatalf("durable (%d,%d) does not match live segment 1 size %d", seq, off, l.Size())
+	}
+	offsets, err := RecordOffsets(SegmentFile(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offsets[len(offsets)-1] != off {
+		t.Fatalf("durable offset %d is not the final frame boundary %d", off, offsets[len(offsets)-1])
+	}
+	if l.Appends() != uint64(len(groups)) {
+		t.Fatalf("Appends %d, want %d", l.Appends(), len(groups))
+	}
+	if l.Fsyncs() == 0 {
+		t.Fatal("SyncAlways appends recorded no fsyncs")
+	}
+	if l.Clean() {
+		t.Fatal("log with unconsolidated records reports Clean")
+	}
+
+	// The chain head is live and matches an offline re-scan.
+	if l.Chain() == (Chain{}) {
+		t.Fatal("chain head still at genesis after six groups")
+	}
+	if l.CheckpointSeq() != 0 {
+		t.Fatalf("CheckpointSeq %d before any checkpoint", l.CheckpointSeq())
+	}
+}
+
+// TestDirListingAndPaths covers the path helpers replication mirrors files
+// by, and ListDir's view of a directory with segments and a checkpoint.
+func TestDirListingAndPaths(t *testing.T) {
+	dir := t.TempDir()
+	if got := SegmentFile(dir, 7); got != filepath.Join(dir, "wal-00000007.log") {
+		t.Fatalf("SegmentFile: %s", got)
+	}
+	if got := CheckpointFile(dir, 7); got != filepath.Join(dir, "checkpoint-00000007.ckpt") {
+		t.Fatalf("CheckpointFile: %s", got)
+	}
+
+	l, _ := openLog(t, dir, Options{})
+	defer l.Close()
+	for _, g := range buildOps(t) {
+		if err := l.Append(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	covered, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Groups != 6 || rec.TailSeq != 2 {
+		t.Fatalf("exported Recover saw %d groups, tail %d", rec.Groups, rec.TailSeq)
+	}
+	if err := l.WriteCheckpoint(covered, rec.Graph, rec.Store); err != nil {
+		t.Fatal(err)
+	}
+	if l.CheckpointSeq() != covered {
+		t.Fatalf("CheckpointSeq %d after checkpointing %d", l.CheckpointSeq(), covered)
+	}
+
+	segs, ckpts, err := ListDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0] != 2 {
+		t.Fatalf("segments after checkpoint: %v, want [2]", segs)
+	}
+	if len(ckpts) != 1 || ckpts[0] != 1 {
+		t.Fatalf("checkpoints: %v, want [1]", ckpts)
+	}
+	if !l.Clean() {
+		t.Fatal("fully checkpointed log is not Clean")
+	}
+}
+
+// TestLockDirExcludes: the exported lock is the same exclusion Open takes —
+// a live directory cannot be locked again, and releasing re-admits.
+func TestLockDirExcludes(t *testing.T) {
+	dir := t.TempDir()
+	lock, err := LockDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LockDir(dir); err == nil {
+		t.Fatal("second LockDir on a held directory succeeded")
+	}
+	if _, _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open on a locked directory succeeded")
+	}
+	if err := lock.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open after lock release: %v", err)
+	}
+	l.Close()
+}
+
+// TestChainErrorMessage pins the operator-facing location report: segment,
+// byte offset and group ordinal all appear in the error string.
+func TestChainErrorMessage(t *testing.T) {
+	err := &ChainError{Seq: 3, Offset: 4096, Index: 17, Reason: "link mismatch"}
+	msg := err.Error()
+	for _, want := range []string{"3", "4096", "17"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("ChainError %q omits %q", msg, want)
+		}
+	}
+}
+
+// TestOpKindString covers the record-kind names the audit tooling prints.
+func TestOpKindString(t *testing.T) {
+	want := map[OpKind]string{
+		OpGraph: "graph", OpShare: "share", OpRevoke: "revoke", OpPolicyReset: "policy-reset",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("OpKind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if OpKind(99).String() == "" {
+		t.Fatal("unknown OpKind prints empty")
+	}
+}

@@ -55,6 +55,14 @@ type Recovered struct {
 	// CheckpointSeq is the segment sequence the loaded checkpoint covered
 	// (0 when recovery started from an empty state).
 	CheckpointSeq uint64
+	// Chain is the tamper-evidence chain value after the last replayed
+	// group (the anchor when the tail was empty); TailSeq and TailSize
+	// locate the append position: the newest segment and its byte length
+	// after torn-tail truncation. A replica resumes shipping from exactly
+	// (TailSeq, TailSize, Chain).
+	Chain    Chain
+	TailSeq  uint64
+	TailSize int64
 }
 
 // Log is an append-only write-ahead log over numbered segment files in one
@@ -73,6 +81,11 @@ type Log struct {
 	appended uint64
 	closed   bool
 	scratch  []byte
+	// chain is the running tamper-evidence chain value (after the last
+	// appended group); ckptChain snapshots it at the last Rotate, which is
+	// the anchor the matching WriteCheckpoint records.
+	chain     Chain
+	ckptChain Chain
 	// ckptSeq is the segment sequence the newest durable checkpoint covers
 	// (recovered at Open, advanced by WriteCheckpoint); with it, Clean can
 	// tell an idle log from one holding uncheckpointed records.
@@ -86,8 +99,16 @@ type Log struct {
 	// syncMu serializes fsyncs; synced (guarded by it) is the highest
 	// appended index known durable, giving group commit: a waiter that
 	// finds synced past its own index rides a finished fsync for free.
-	syncMu sync.Mutex
-	synced uint64
+	// syncedSeq/syncedOff track the same durability frontier as a byte
+	// position — the shipping boundary replication serves up to — and
+	// watch is closed (and renewed) whenever that frontier advances, so a
+	// long-polling tail handler can wait without spinning. Appends extend
+	// size by whole frames only, so the frontier is always frame-aligned.
+	syncMu    sync.Mutex
+	synced    uint64
+	syncedSeq uint64
+	syncedOff int64
+	watch     chan struct{}
 	// syncFailed latches the first fsync failure (error in syncErr, written
 	// once under syncMu). Once set, every Append fails: a log whose
 	// durability is unknown must not keep acknowledging — the background
@@ -116,6 +137,24 @@ func segmentPath(dir string, seq uint64) string {
 
 func checkpointPath(dir string, seq uint64) string {
 	return filepath.Join(dir, fmt.Sprintf(checkpointPattern, seq))
+}
+
+// SegmentFile returns the path of segment seq inside dir; CheckpointFile the
+// path of the checkpoint covering seq. The replication layer serves and
+// mirrors these files by path.
+func SegmentFile(dir string, seq uint64) string { return segmentPath(dir, seq) }
+
+// CheckpointFile returns the path of the checkpoint covering segment seq.
+func CheckpointFile(dir string, seq uint64) string { return checkpointPath(dir, seq) }
+
+// ListDir returns the segment and checkpoint sequence numbers present in
+// dir, each ascending.
+func ListDir(dir string) (segments, checkpoints []uint64, err error) {
+	st, err := scanDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st.segments, st.checkpoints, nil
 }
 
 // dirState lists the sequence numbers present in a log directory.
@@ -173,9 +212,80 @@ func Open(dir string, opts Options) (*Log, Recovered, error) {
 		lock.Close()
 		return nil, rec, err
 	}
-	st, err := scanDir(dir)
+	rec, err = recoverDir(dir)
 	if err != nil {
 		return fail(err)
+	}
+	f, err := os.OpenFile(segmentPath(dir, rec.TailSeq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fail(err)
+	}
+	l := &Log{
+		dir:       dir,
+		policy:    opts.Sync,
+		f:         f,
+		seq:       rec.TailSeq,
+		size:      rec.TailSize,
+		chain:     rec.Chain,
+		ckptChain: rec.Chain,
+		ckptSeq:   rec.CheckpointSeq,
+		syncedSeq: rec.TailSeq,
+		syncedOff: rec.TailSize,
+		watch:     make(chan struct{}),
+		lock:      lock,
+	}
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return fail(err)
+	}
+	if opts.Sync == SyncInterval {
+		iv := opts.Interval
+		if iv <= 0 {
+			iv = defaultInterval
+		}
+		l.stop, l.done = make(chan struct{}), make(chan struct{})
+		go l.syncLoop(iv)
+	}
+	return l, rec, nil
+}
+
+// Recover reconstructs the state persisted in dir without opening it for
+// append, creating the directory empty if needed. It performs the exact
+// recovery Open does — checkpoint fallback, ordered chained replay,
+// torn-tail truncation on the newest segment — so a replica uses it to
+// rebuild its serving state from locally shipped bytes. The caller must hold
+// the directory's lock (LockDir) if any other process could be writing it.
+func Recover(dir string) (Recovered, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return Recovered{}, err
+	}
+	return recoverDir(dir)
+}
+
+// LockDir takes the directory's advisory flock — the same lock Open holds —
+// without opening the log, for processes (a follower) that own the directory
+// through a different write path. Close the returned file to release it.
+func LockDir(dir string) (*os.File, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return acquireDirLock(dir)
+}
+
+// recoverDir loads the newest readable checkpoint and replays every segment
+// past it, verifying frame CRCs, segment contiguity and the tamper-evidence
+// chain. A torn or corrupt tail is tolerated only on the newest segment: the
+// bad suffix is dropped and truncated away so new appends (or shipped bytes)
+// extend a clean prefix. Corruption anywhere else — a bad frame mid-log, a
+// chain-link mismatch, a gap in the segment numbering — is a hard error:
+// silently skipping acknowledged mutations would break the
+// exactly-the-acknowledged-prefix recovery guarantee, and no crash produces
+// a CRC-valid record with a wrong chain link.
+func recoverDir(dir string) (Recovered, error) {
+	var rec Recovered
+	st, err := scanDir(dir)
+	if err != nil {
+		return rec, err
 	}
 
 	// Newest readable checkpoint wins; unreadable ones (a crash can leave a
@@ -184,11 +294,11 @@ func Open(dir string, opts Options) (*Log, Recovered, error) {
 	rec.Graph, rec.Store = graph.New(), core.NewStore()
 	for i := len(st.checkpoints) - 1; i >= 0; i-- {
 		seq := st.checkpoints[i]
-		g, s, err := readCheckpointFile(checkpointPath(dir, seq))
+		g, s, chain, err := readCheckpointFile(checkpointPath(dir, seq))
 		if err != nil {
 			continue
 		}
-		rec.Graph, rec.Store, rec.CheckpointSeq = g, s, seq
+		rec.Graph, rec.Store, rec.CheckpointSeq, rec.Chain = g, s, seq, chain
 		break
 	}
 
@@ -204,23 +314,29 @@ func Open(dir string, opts Options) (*Log, Recovered, error) {
 		}
 	}
 	if rec.CheckpointSeq > 0 && (len(replay) == 0 || replay[0] != rec.CheckpointSeq+1) {
-		return fail(fmt.Errorf("wal: segment %d after checkpoint %d is missing", rec.CheckpointSeq+1, rec.CheckpointSeq))
+		return rec, fmt.Errorf("wal: segment %d after checkpoint %d is missing", rec.CheckpointSeq+1, rec.CheckpointSeq)
 	}
+	rec.TailSeq = rec.CheckpointSeq + 1
 	for i, seq := range replay {
 		if i > 0 && seq != replay[i-1]+1 {
-			return fail(fmt.Errorf("wal: segment gap: %d follows %d", seq, replay[i-1]))
+			return rec, fmt.Errorf("wal: segment gap: %d follows %d", seq, replay[i-1])
 		}
 		last := i == len(replay)-1
 		path := segmentPath(dir, seq)
 		data, err := os.ReadFile(path)
 		if err != nil {
-			return fail(err)
+			return rec, err
 		}
 		var applyErr error
 		valid := scanFrames(data, func(payload []byte) bool {
-			ops, err := decodeGroup(payload)
+			ops, prev, hasPrev, err := decodeChained(payload)
 			if err != nil {
 				applyErr = err
+				return false
+			}
+			if hasPrev && prev != rec.Chain {
+				applyErr = fmt.Errorf("chain link mismatch on group %d: record carries prev %x, chain is %x",
+					rec.Groups, prev[:8], rec.Chain[:8])
 				return false
 			}
 			for _, op := range ops {
@@ -229,60 +345,25 @@ func Open(dir string, opts Options) (*Log, Recovered, error) {
 					return false
 				}
 			}
+			rec.Chain = chainNext(rec.Chain, payload)
 			rec.Groups++
 			return true
 		})
 		if applyErr != nil {
-			return fail(fmt.Errorf("wal: segment %d: %w", seq, applyErr))
+			return rec, fmt.Errorf("wal: segment %d: %w", seq, applyErr)
 		}
 		if valid < int64(len(data)) {
 			if !last {
-				return fail(fmt.Errorf("wal: segment %d: corrupt frame at offset %d before newer segment", seq, valid))
+				return rec, fmt.Errorf("wal: segment %d: corrupt frame at offset %d before newer segment", seq, valid)
 			}
 			rec.TornTail = true
 			if err := os.Truncate(path, valid); err != nil {
-				return fail(fmt.Errorf("wal: truncating torn tail of segment %d: %w", seq, err))
+				return rec, fmt.Errorf("wal: truncating torn tail of segment %d: %w", seq, err)
 			}
 		}
+		rec.TailSeq, rec.TailSize = seq, valid
 	}
-
-	// Position the log to append: reuse the newest segment, or start the
-	// first one past the checkpoint.
-	seq := rec.CheckpointSeq + 1
-	if len(replay) > 0 {
-		seq = replay[len(replay)-1]
-	}
-	f, err := os.OpenFile(segmentPath(dir, seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return fail(err)
-	}
-	fi, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return fail(err)
-	}
-	l := &Log{
-		dir:     dir,
-		policy:  opts.Sync,
-		f:       f,
-		seq:     seq,
-		size:    fi.Size(),
-		ckptSeq: rec.CheckpointSeq,
-		lock:    lock,
-	}
-	if err := syncDir(dir); err != nil {
-		f.Close()
-		return fail(err)
-	}
-	if opts.Sync == SyncInterval {
-		iv := opts.Interval
-		if iv <= 0 {
-			iv = defaultInterval
-		}
-		l.stop, l.done = make(chan struct{}), make(chan struct{})
-		go l.syncLoop(iv)
-	}
-	return l, rec, nil
+	return rec, nil
 }
 
 // Append durably logs one record group — the operations of one committed
@@ -305,7 +386,7 @@ func (l *Log) Append(ops []Op) error {
 		l.mu.Unlock()
 		return fmt.Errorf("wal: log is closed")
 	}
-	buf, err := encodeFrame(l.scratch[:0], ops)
+	buf, next, err := encodeFrame(l.scratch[:0], l.chain, ops)
 	l.scratch = buf[:0]
 	if err != nil {
 		l.mu.Unlock()
@@ -315,14 +396,68 @@ func (l *Log) Append(ops []Op) error {
 		l.mu.Unlock()
 		return err
 	}
+	l.chain = next
 	l.size += int64(len(buf))
 	l.appended++
-	idx := l.appended
+	idx, seq, size := l.appended, l.seq, l.size
 	l.mu.Unlock()
-	if l.policy != SyncAlways {
-		return nil
+	switch l.policy {
+	case SyncAlways:
+		return l.syncTo(idx)
+	case SyncNever:
+		// Nothing is fsynced, so the shipping frontier mirrors the
+		// durability contract: whatever the OS has is what a follower (or a
+		// crash) can observe.
+		l.syncMu.Lock()
+		l.advanceShipLocked(seq, size)
+		l.syncMu.Unlock()
 	}
-	return l.syncTo(idx)
+	return nil
+}
+
+// advanceShipLocked moves the frame-aligned shipping frontier forward and
+// wakes long-poll waiters. Callers hold syncMu.
+func (l *Log) advanceShipLocked(seq uint64, off int64) {
+	if seq < l.syncedSeq || (seq == l.syncedSeq && off <= l.syncedOff) {
+		return
+	}
+	l.syncedSeq, l.syncedOff = seq, off
+	close(l.watch)
+	l.watch = make(chan struct{})
+}
+
+// DurablePos reports the shipping frontier: the segment and byte offset up
+// to which every record is durable (fsynced under SyncAlways/SyncInterval,
+// OS-buffered under SyncNever) and may be served to replicas. The frontier
+// is always frame-aligned.
+func (l *Log) DurablePos() (seq uint64, off int64) {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	return l.syncedSeq, l.syncedOff
+}
+
+// DurableWatch returns a channel closed the next time the shipping frontier
+// advances; callers re-read DurablePos and re-arm.
+func (l *Log) DurableWatch() <-chan struct{} {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	return l.watch
+}
+
+// Chain returns the running tamper-evidence chain value (after the last
+// appended group).
+func (l *Log) Chain() Chain {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.chain
+}
+
+// CheckpointSeq returns the segment sequence the newest durable checkpoint
+// covers (0 before the first checkpoint).
+func (l *Log) CheckpointSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ckptSeq
 }
 
 // syncTo blocks until every group appended up to idx is durable, fsyncing at
@@ -334,7 +469,7 @@ func (l *Log) syncTo(idx uint64) error {
 		return nil
 	}
 	l.mu.Lock()
-	target := l.appended
+	target, seq, size := l.appended, l.seq, l.size
 	f := l.f
 	l.mu.Unlock()
 	l.fsyncs.Add(1)
@@ -346,6 +481,7 @@ func (l *Log) syncTo(idx uint64) error {
 		return err
 	}
 	l.synced = target
+	l.advanceShipLocked(seq, size)
 	return nil
 }
 
@@ -440,21 +576,31 @@ func (l *Log) Rotate() (covered uint64, err error) {
 	l.f.Close()
 	l.f, l.seq, l.size = next, l.seq+1, 0
 	l.synced = l.appended
+	// The sealed segment is fully durable: publish the frontier at the head
+	// of the new segment, and snapshot the chain as the anchor the matching
+	// WriteCheckpoint records.
+	l.advanceShipLocked(l.seq, 0)
+	l.ckptChain = l.chain
 	return covered, nil
 }
 
 // WriteCheckpoint durably persists a state snapshot covering every segment
 // up to and including covered (as returned by Rotate), then deletes the
-// segments and checkpoints it supersedes. The checkpoint is written to a
+// segments and checkpoints it supersedes. It records the chain value
+// captured at that Rotate as the anchor re-rooting the tamper-evidence
+// chain past the deleted segments. The checkpoint is written to a
 // temp file, fsynced and renamed into place, so a crash at any point leaves
 // either the old recovery chain or the new one — never neither.
 func (l *Log) WriteCheckpoint(covered uint64, g *graph.Graph, s *core.Store) error {
+	l.mu.Lock()
+	anchor := l.ckptChain
+	l.mu.Unlock()
 	tmp := filepath.Join(l.dir, "checkpoint.tmp")
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
-	if err := writeCheckpoint(f, g, s); err != nil {
+	if err := writeCheckpoint(f, g, s, anchor); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err

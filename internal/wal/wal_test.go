@@ -289,7 +289,7 @@ func TestCorruptCheckpointFallsBack(t *testing.T) {
 	// Write the checkpoint WITHOUT purging the covered segment, then corrupt
 	// it: recovery must fall back to full log replay.
 	var buf bytes.Buffer
-	if err := writeCheckpoint(&buf, g, s); err != nil {
+	if err := writeCheckpoint(&buf, g, s, Chain{}); err != nil {
 		t.Fatal(err)
 	}
 	ckpt := buf.Bytes()

@@ -11,6 +11,7 @@ import (
 	"reachac/internal/graph"
 	"reachac/internal/pathexpr"
 	"reachac/internal/planner"
+	"reachac/internal/replica"
 	"reachac/internal/wal"
 )
 
@@ -155,6 +156,13 @@ type Network struct {
 	ckptWG     sync.WaitGroup
 	ckptMu     sync.Mutex
 	ckptErr    error
+
+	// replSource serves this leader's WAL to followers (nil on non-durable
+	// networks); follower, when non-nil, marks the network a read replica —
+	// every mutation is ErrReadOnly and state advances only through
+	// applyReplicated. See follow.go and internal/replica.
+	replSource *replica.Source
+	follower   *replica.Follower
 
 	// planner accumulates routing statistics and owns the decision-cache
 	// counters; it lives as long as the network, surviving snapshot

@@ -72,6 +72,29 @@ type Stats struct {
 
 	// AuditRetained is the current length of the retained decision trail.
 	AuditRetained int `json:"audit_retained"`
+
+	// Follower reports a read replica (opened with WithFollow); the
+	// Replica* fields below are its staleness bound. ReplicaEpoch is the
+	// leadership epoch (set on leaders too). ReplicaAppliedSeq/Off is the
+	// replication cursor — every leader byte before it is verified, persisted
+	// and applied — and ReplicaLeaderSeq/Off the leader's durable position at
+	// last contact; ReplicaLagBytes is their distance. ReplicaStalenessMS is
+	// the wall-clock milliseconds since the last successful leader exchange:
+	// bounded while connected, growing while disconnected. ReplicaHalted
+	// means replication stopped on a non-retryable fault (epoch regression,
+	// divergence, tamper) and the replica serves frozen state. All are
+	// gauges, passed through Delta unchanged.
+	Follower           bool   `json:"follower,omitempty"`
+	ReplicaEpoch       uint64 `json:"replica_epoch,omitempty"`
+	ReplicaConnected   bool   `json:"replica_connected,omitempty"`
+	ReplicaHalted      bool   `json:"replica_halted,omitempty"`
+	ReplicaAppliedSeq  uint64 `json:"replica_applied_seq,omitempty"`
+	ReplicaAppliedOff  int64  `json:"replica_applied_off,omitempty"`
+	ReplicaGroups      uint64 `json:"replica_groups,omitempty"`
+	ReplicaLeaderSeq   uint64 `json:"replica_leader_seq,omitempty"`
+	ReplicaLeaderOff   int64  `json:"replica_leader_off,omitempty"`
+	ReplicaLagBytes    int64  `json:"replica_lag_bytes,omitempty"`
+	ReplicaStalenessMS int64  `json:"replica_staleness_ms,omitempty"`
 }
 
 // Delta returns the counter-by-counter difference s - prev, for bounding
@@ -157,5 +180,6 @@ func (n *Network) Stats() Stats {
 		st.WALSegmentBytes = n.wal.Size()
 		st.WALSegmentSeq = n.wal.Seq()
 	}
+	n.replicaStats(&st)
 	return st
 }
