@@ -320,6 +320,22 @@ func (c *Client) Audit(ctx context.Context, n int) ([]Decision, error) {
 	return out.Decisions, err
 }
 
+// ShardExpand advances one round of a distributed reachability search on the
+// server's local subgraph. Shard-router internal; see reachac.ShardExpandRequest.
+func (c *Client) ShardExpand(ctx context.Context, req httpapi.ShardExpandRequest) (httpapi.ShardExpandResponse, error) {
+	var out httpapi.ShardExpandResponse
+	err := c.do(ctx, http.MethodPost, httpapi.PathShardExpand, nil, req, &out)
+	return out, err
+}
+
+// ShardPolicies fetches the server's policy store keyed by user name (unlike
+// Policies, whose serialization embeds server-local numeric IDs).
+func (c *Client) ShardPolicies(ctx context.Context) ([]reachac.ResourcePolicy, error) {
+	var out httpapi.ShardPoliciesResponse
+	err := c.do(ctx, http.MethodGet, httpapi.PathShardPolicies, nil, nil, &out)
+	return out.Policies, err
+}
+
 // Policies exports the server's policy store serialization.
 func (c *Client) Policies(ctx context.Context) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+httpapi.PathPolicies, nil)

@@ -16,6 +16,7 @@ import (
 	"reachac/internal/httpapi"
 	"reachac/internal/loadgen"
 	"reachac/internal/server"
+	"reachac/internal/shard"
 	"reachac/internal/workload"
 )
 
@@ -163,6 +164,131 @@ func (t *embeddedTarget) classify(err error) loadgen.Outcome {
 func (t *embeddedTarget) engineName() string { return "" }
 
 func (t *embeddedTarget) close() error { return nil }
+
+// --- sharded embedded ---
+
+// shardedTarget drives an in-process shard router over N embedded
+// networks: hash-ring placement, boundary-edge replication and
+// scatter-gather cost included, but no wire. The graph and resources are
+// seeded THROUGH the router, so the benchmark exercises the same placement
+// the router will query.
+type shardedTarget struct {
+	r     *shard.Router
+	specs []workload.ResourceSpec
+	rules ruleStacks
+}
+
+func (t *shardedTarget) name(id graph.NodeID) string { return generate.UserName(int(id)) }
+
+func newShardedTarget(g *graph.Graph, kind reachac.EngineKind, specs []workload.ResourceSpec, workers, shards int) (*shardedTarget, error) {
+	backends := make([]shard.Backend, shards)
+	for i := range backends {
+		var n *reachac.Network
+		if kind == plannerEngine {
+			n = reachac.New(reachac.WithPlanner(reachac.PlannerOptions{}))
+		} else {
+			n = reachac.New(reachac.WithEngine(kind))
+		}
+		backends[i] = shard.NewEmbedded(n)
+	}
+	ctx := context.Background()
+	r, err := shard.New(ctx, backends, shard.Config{})
+	if err != nil {
+		return nil, err
+	}
+	t := &shardedTarget{r: r, specs: specs, rules: newRuleStacks(workers, len(specs))}
+	for i, nodes := 0, g.NumNodes(); i < nodes; i++ {
+		if _, err := r.AddUser(ctx, generate.UserName(i), nil); err != nil {
+			return nil, fmt.Errorf("seeding user %d: %w", i, err)
+		}
+	}
+	var seedErr error
+	g.Edges(func(e graph.Edge) bool {
+		err := r.Relate(ctx, t.name(e.From), t.name(e.To), g.LabelName(e.Label), false)
+		if err != nil {
+			seedErr = fmt.Errorf("seeding relationship: %w", err)
+			return false
+		}
+		return true
+	})
+	if seedErr != nil {
+		return nil, seedErr
+	}
+	for _, spec := range specs {
+		if _, err := r.Share(ctx, spec.Name, t.name(spec.Owner), spec.Paths); err != nil {
+			return nil, fmt.Errorf("pre-sharing %s: %w", spec.Name, err)
+		}
+	}
+	return t, nil
+}
+
+func (t *shardedTarget) do(ctx context.Context, worker int, op workload.Op) error {
+	spec := t.specs[op.Resource]
+	switch op.Kind {
+	case workload.OpCheck:
+		_, err := t.r.Check(ctx, spec.Name, t.name(op.Requester))
+		return err
+	case workload.OpCheckBatch:
+		names := make([]string, len(op.Requesters))
+		for i, id := range op.Requesters {
+			names[i] = t.name(id)
+		}
+		_, err := t.r.CheckBatch(ctx, spec.Name, names)
+		return err
+	case workload.OpAudience:
+		_, _, err := t.r.Audience(ctx, spec.Name)
+		return err
+	case workload.OpRelate:
+		return t.r.Relate(ctx, t.name(op.From), t.name(op.To), op.RelType, false)
+	case workload.OpUnrelate:
+		return t.r.Unrelate(ctx, t.name(op.From), t.name(op.To), op.RelType)
+	case workload.OpShare:
+		rule, err := t.r.Share(ctx, spec.Name, t.name(op.Owner), op.Paths)
+		if err == nil {
+			t.rules.push(worker, op.Resource, rule)
+		}
+		return err
+	case workload.OpRevoke:
+		rule, ok := t.rules.pop(worker, op.Resource)
+		if !ok {
+			rule, err := t.r.Share(ctx, spec.Name, t.name(spec.Owner), spec.Paths)
+			if err == nil {
+				t.rules.push(worker, op.Resource, rule)
+			}
+			return err
+		}
+		_, err := t.r.Revoke(ctx, spec.Name, rule)
+		return err
+	default:
+		return fmt.Errorf("unknown op kind %v", op.Kind)
+	}
+}
+
+func (t *shardedTarget) stats() (Counters, error) {
+	st := t.r.Stats(context.Background())
+	c := countersFromStats(st.Stats, nil)
+	if rs := st.Router; rs != nil {
+		c.RouterFastPath = rs.FastPath
+		c.RouterScatter = rs.Scatter
+		c.RouterExpand = rs.ExpandCalls
+		c.RouterAudHits = rs.AudienceCacheHits
+		c.RouterAudMisses = rs.AudienceCacheMisses
+		c.RouterAudExtends = rs.AudienceCacheExtends
+		c.RouterAudInvalids = rs.AudienceCacheInvalidate
+	}
+	return c, nil
+}
+
+func (t *shardedTarget) classify(err error) loadgen.Outcome {
+	if err != nil {
+		return loadgen.Error
+	}
+	return loadgen.OK
+}
+
+func (t *shardedTarget) engineName() string { return "" }
+
+func (t *shardedTarget) close() error { return t.r.Close() }
 
 // --- HTTP ---
 

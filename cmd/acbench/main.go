@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -56,10 +58,13 @@ func main() {
 		warmup    = flag.Duration("warmup", 500*time.Millisecond, "warmup before the measured window")
 		rate      = flag.Float64("rate", 0, "open-loop target ops/sec across all workers (0 = closed loop)")
 		batch     = flag.Int("batch", 16, "check-batch requesters per request")
+		zipf      = flag.Float64("zipf", 0, "requester/resource popularity skew exponent, must be > 1 (0 = workload default 1.2)")
+		shardsCSV = flag.String("shards", "", "comma-separated shard counts; embedded mode routes each cell through an in-process shard router (http mode: labels the cells of an external acshardd)")
 		seed      = flag.Int64("seed", 1, "workload seed")
 		syncMode  = flag.String("sync", "interval", "self-hosted server WAL fsync policy: always, interval, never")
 		out       = flag.String("out", "BENCH_acbench.json", "artifact output path")
 		appendArt = flag.Bool("append", false, "merge results into an existing artifact at -out instead of replacing it")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 		compare   = flag.String("compare", "", "compare -in against this baseline artifact and exit (nonzero on regression)")
 		in        = flag.String("in", "", "artifact to compare (default: -out)")
 		maxReg    = flag.Float64("max-regress", 0.25, "allowed normalized throughput regression before -compare fails")
@@ -86,6 +91,24 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	shardCounts, err := parseShards(*shardsCSV)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *zipf != 0 && *zipf <= 1 {
+		log.Fatalf("-zipf %v: the skew exponent must be > 1", *zipf)
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	log.Printf("calibrating host")
 	art := newArtifact(*seed, calibrationScore())
@@ -94,7 +117,7 @@ func main() {
 	cfg := benchConfig{
 		nodes: *nodes, degree: *degree, resources: *resources,
 		workers: *workers, duration: *duration, warmup: *warmup,
-		rate: *rate, seed: *seed, addr: *addr, syncOpt: syncOpt,
+		rate: *rate, zipfS: *zipf, seed: *seed, addr: *addr, syncOpt: syncOpt,
 		seeded: make(map[string]bool),
 	}
 	g := generate.OSN(generate.OSNConfig{Nodes: *nodes, AvgOutDegree: *degree, Seed: *seed})
@@ -104,14 +127,22 @@ func main() {
 	for _, m := range modes {
 		for _, kind := range kinds {
 			for _, mix := range mixes {
-				res, err := runScenario(m, g, kind, mix, specs, cfg)
-				if err != nil {
-					log.Fatalf("%s/%s/%s: %v", m, kind, mix.Name, err)
+				for _, sc := range shardCounts {
+					cellCfg := cfg
+					cellCfg.shards = sc
+					res, err := runScenario(m, g, kind, mix, specs, cellCfg)
+					if err != nil {
+						log.Fatalf("%s/%s/%s: %v", m, kind, mix.Name, err)
+					}
+					art.Scenarios = append(art.Scenarios, res)
+					label := res.Scenario
+					if res.Shards > 0 {
+						label = fmt.Sprintf("%s/s=%d", res.Scenario, res.Shards)
+					}
+					log.Printf("%-8s %-16s %-13s %9.0f ops/s  p50 %7.0fµs  p99 %7.0fµs  err %d  shed %d",
+						res.Mode, res.Engine, label, res.Throughput,
+						res.Latency.P50, res.Latency.P99, res.Errors, res.Shed)
 				}
-				art.Scenarios = append(art.Scenarios, res)
-				log.Printf("%-8s %-16s %-13s %9.0f ops/s  p50 %7.0fµs  p99 %7.0fµs  err %d  shed %d",
-					res.Mode, res.Engine, res.Scenario, res.Throughput,
-					res.Latency.P50, res.Latency.P99, res.Errors, res.Shed)
 			}
 			if m == "http" && cfg.addr != "" {
 				break // an external daemon serves one engine; don't redrive it per kind
@@ -139,9 +170,17 @@ type benchConfig struct {
 	nodes, degree, resources, workers int
 	duration, warmup                  time.Duration
 	rate                              float64
-	seed                              int64
-	addr                              string
-	syncOpt                           reachac.Option
+	// zipfS overrides the workload's popularity skew exponent (0 keeps
+	// the workload default).
+	zipfS float64
+	// shards, when positive, routes an embedded cell through an
+	// in-process shard router over that many embedded shard networks;
+	// in http mode it only labels the cell (the external daemon's
+	// topology is whatever it was started with).
+	shards  int
+	seed    int64
+	addr    string
+	syncOpt reachac.Option
 	// seeded tracks external daemons this process already loaded the
 	// graph into, so later scenario cells skip the redundant wire-seeding.
 	seeded map[string]bool
@@ -157,7 +196,11 @@ func runScenario(mode string, g *graph.Graph, kind reachac.EngineKind, mix workl
 	)
 	switch mode {
 	case "embedded":
-		t, err = newEmbeddedTarget(g, kind, specs, cfg.workers)
+		if cfg.shards > 0 {
+			t, err = newShardedTarget(g, kind, specs, cfg.workers, cfg.shards)
+		} else {
+			t, err = newEmbeddedTarget(g, kind, specs, cfg.workers)
+		}
 	case "http":
 		if cfg.addr != "" {
 			t, err = newExternalTarget(cfg.addr, g, specs, cfg.workers, cfg.seeded[cfg.addr])
@@ -179,6 +222,7 @@ func runScenario(mode string, g *graph.Graph, kind reachac.EngineKind, mix workl
 	for w := range gens {
 		gens[w] = workload.NewGenerator(g, mix, workload.GenConfig{
 			Resources: specs,
+			ZipfS:     cfg.zipfS,
 			Worker:    w,
 			Workers:   cfg.workers,
 		}, cfg.seed+int64(w)*7919)
@@ -210,6 +254,7 @@ func runScenario(mode string, g *graph.Graph, kind reachac.EngineKind, mix workl
 		Mode:        mode,
 		Engine:      engine,
 		Scenario:    mix.Name,
+		Shards:      cfg.shards,
 		Nodes:       g.NumNodes(),
 		Edges:       g.NumEdges(),
 		Resources:   len(specs),
@@ -374,6 +419,23 @@ func parseScenarios(s string, batch int) ([]workload.Mix, error) {
 		return nil, fmt.Errorf("-scenarios is empty")
 	}
 	return mixes, nil
+}
+
+// parseShards parses the -shards comma list; empty means one unsharded
+// cell per (mode, engine, scenario), the pre-sharding behavior.
+func parseShards(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return []int{0}, nil
+	}
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-shards %q: counts must be positive integers", s)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
 }
 
 func parseSync(s string) (reachac.Option, error) {

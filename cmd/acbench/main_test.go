@@ -246,3 +246,33 @@ func TestParseHelpers(t *testing.T) {
 		t.Fatal("bad sync accepted")
 	}
 }
+
+func TestParseShards(t *testing.T) {
+	got, err := parseShards("")
+	if err != nil || len(got) != 1 || got[0] != 0 {
+		t.Fatalf("empty -shards = %v, %v; want [0] (unsharded)", got, err)
+	}
+	got, err = parseShards(" 1, 2,4 ")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 4 {
+		t.Fatalf("parseShards sweep = %v, %v; want [1 2 4]", got, err)
+	}
+	for _, bad := range []string{"0", "-2", "two", "1,,4"} {
+		if _, err := parseShards(bad); err == nil {
+			t.Errorf("parseShards(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseSyncAndOrDefault(t *testing.T) {
+	for _, mode := range []string{"always", "interval", "never"} {
+		if opt, err := parseSync(mode); err != nil || opt == nil {
+			t.Fatalf("parseSync(%q): %v", mode, err)
+		}
+	}
+	if _, err := parseSync("sometimes"); err == nil {
+		t.Fatal("parseSync accepted an unknown mode")
+	}
+	if orDefault("", "fallback") != "fallback" || orDefault("set", "fallback") != "set" {
+		t.Fatal("orDefault picked the wrong side")
+	}
+}

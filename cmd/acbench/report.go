@@ -82,6 +82,15 @@ type Counters struct {
 	CommitGroups       uint64 `json:"server_commit_groups,omitempty"`
 	QueueRejected      uint64 `json:"server_queue_rejected,omitempty"`
 	CheckRejected      uint64 `json:"server_check_rejected,omitempty"`
+	// The router_* fields are the shard router's own counters; all zero
+	// outside sharded cells.
+	RouterFastPath    uint64 `json:"router_fast_path,omitempty"`
+	RouterScatter     uint64 `json:"router_scatter,omitempty"`
+	RouterExpand      uint64 `json:"router_expand_calls,omitempty"`
+	RouterAudHits     uint64 `json:"router_audience_cache_hits,omitempty"`
+	RouterAudMisses   uint64 `json:"router_audience_cache_misses,omitempty"`
+	RouterAudExtends  uint64 `json:"router_audience_cache_extends,omitempty"`
+	RouterAudInvalids uint64 `json:"router_audience_cache_invalidations,omitempty"`
 }
 
 // delta subtracts prev's cumulative counters, attributing activity to one
@@ -107,14 +116,24 @@ func (c Counters) delta(prev Counters) Counters {
 		CommitGroups:       c.CommitGroups - prev.CommitGroups,
 		QueueRejected:      c.QueueRejected - prev.QueueRejected,
 		CheckRejected:      c.CheckRejected - prev.CheckRejected,
+		RouterFastPath:     c.RouterFastPath - prev.RouterFastPath,
+		RouterScatter:      c.RouterScatter - prev.RouterScatter,
+		RouterExpand:       c.RouterExpand - prev.RouterExpand,
+		RouterAudHits:      c.RouterAudHits - prev.RouterAudHits,
+		RouterAudMisses:    c.RouterAudMisses - prev.RouterAudMisses,
+		RouterAudExtends:   c.RouterAudExtends - prev.RouterAudExtends,
+		RouterAudInvalids:  c.RouterAudInvalids - prev.RouterAudInvalids,
 	}
 }
 
 // ScenarioResult is one benchmarked (mode, engine, scenario) cell.
 type ScenarioResult struct {
-	Mode        string         `json:"mode"`
-	Engine      string         `json:"engine"`
-	Scenario    string         `json:"scenario"`
+	Mode     string `json:"mode"`
+	Engine   string `json:"engine"`
+	Scenario string `json:"scenario"`
+	// Shards is the shard-router fan-out of a sharded cell (0 for the
+	// unsharded direct targets).
+	Shards      int            `json:"shards,omitempty"`
 	Nodes       int            `json:"nodes"`
 	Edges       int            `json:"edges"`
 	Resources   int            `json:"resources"`
@@ -132,7 +151,11 @@ type ScenarioResult struct {
 
 // key identifies a scenario cell across artifacts.
 func (s ScenarioResult) key() string {
-	return s.Mode + "/" + s.Engine + "/" + s.Scenario
+	k := s.Mode + "/" + s.Engine + "/" + s.Scenario
+	if s.Shards > 0 {
+		k += fmt.Sprintf("/shards=%d", s.Shards)
+	}
+	return k
 }
 
 func newArtifact(seed int64, calibration float64) *Artifact {

@@ -1,0 +1,166 @@
+// Command acshardd is the shard router daemon: it consistent-hashes users
+// and resources across N shard backends and serves the same HTTP/JSON API
+// as acserverd, so the typed client package works against a sharded
+// deployment unchanged (internal/shard documents the placement and
+// scatter-gather semantics).
+//
+// Two backend modes:
+//
+//	acshardd -backends host1:8708,host2:8708        # real acserverd shards
+//	acshardd -shards 4 -dir /var/lib/acshard        # embedded shards
+//
+// With -backends each comma-separated address is one shard, reached over
+// HTTP; the shard COUNT and ORDER define the hash ring, so every router
+// (and every acbench run) against the same shard set must list them
+// identically. With -shards N the daemon embeds N in-process networks, each
+// durable in its own subdirectory <dir>/shard-<i> — single-machine sharding
+// for benchmarks and smoke tests.
+//
+// The bound address is announced on stdout as "ACSHARDD_LISTEN=<addr>"
+// before serving starts, so -addr 127.0.0.1:0 is scriptable exactly like
+// acserverd.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"reachac"
+	"reachac/client"
+	"reachac/internal/ring"
+	"reachac/internal/shard"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("acshardd: ")
+	var (
+		addr         = flag.String("addr", ":8709", "listen address")
+		backendsFlag = flag.String("backends", "", "comma-separated acserverd shard addresses (remote mode)")
+		shards       = flag.Int("shards", 0, "embedded shard count (embedded mode; requires -dir)")
+		dir          = flag.String("dir", "", "base directory for embedded shards (shard-<i> subdirectories)")
+		engine       = flag.String("engine", "online", "embedded shards' evaluator: online, online-dfs, online-adaptive, closure, index, index-paper")
+		syncMode     = flag.String("sync", "always", "embedded shards' WAL fsync policy: always, interval, never")
+		vnodes       = flag.Int("vnodes", ring.DefaultVNodes, "virtual nodes per shard on the hash ring")
+		timeout      = flag.Duration("shard-timeout", 2*time.Second, "per-shard deadline on scatter calls")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
+	)
+	flag.Parse()
+
+	var backends []shard.Backend
+	switch {
+	case *backendsFlag != "" && *shards > 0:
+		log.Fatal("-backends and -shards are mutually exclusive")
+	case *backendsFlag != "":
+		for _, a := range strings.Split(*backendsFlag, ",") {
+			c, err := client.New(strings.TrimSpace(a))
+			if err != nil {
+				log.Fatal(err)
+			}
+			backends = append(backends, shard.NewRemote(c))
+		}
+	case *shards > 0:
+		if *dir == "" {
+			log.Fatal("-shards requires -dir")
+		}
+		kind, err := engineKind(*engine)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts := []reachac.Option{reachac.WithEngine(kind)}
+		switch *syncMode {
+		case "always":
+			opts = append(opts, reachac.WithSync(reachac.SyncAlways))
+		case "interval":
+			opts = append(opts, reachac.WithSyncInterval(50*time.Millisecond))
+		case "never":
+			opts = append(opts, reachac.WithSync(reachac.SyncNever))
+		default:
+			log.Fatalf("unknown -sync %q (have always, interval, never)", *syncMode)
+		}
+		for i := 0; i < *shards; i++ {
+			n, err := reachac.Open(filepath.Join(*dir, fmt.Sprintf("shard-%d", i)), opts...)
+			if err != nil {
+				log.Fatal(err)
+			}
+			backends = append(backends, shard.NewEmbedded(n))
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	router, err := shard.New(context.Background(), backends, shard.Config{
+		VNodes:       *vnodes,
+		ShardTimeout: *timeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	handler := shard.NewHandler(router)
+	httpSrv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ACSHARDD_LISTEN=%s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	log.Printf("routing %d shards on %s (%d vnodes/shard)", router.Shards(), ln.Addr(), *vnodes)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		log.Printf("HTTP shutdown: %v", err)
+	}
+	if err := router.Close(); err != nil {
+		log.Fatalf("closing shards: %v", err)
+	}
+	log.Print("clean shutdown")
+}
+
+// engineKind parses the -engine flag (same vocabulary as acserverd).
+func engineKind(s string) (reachac.EngineKind, error) {
+	for _, k := range []reachac.EngineKind{
+		reachac.Online, reachac.OnlineDFS, reachac.OnlineAdaptive,
+		reachac.Closure, reachac.Index, reachac.IndexPaperJoin,
+	} {
+		if s == k.String() {
+			return k, nil
+		}
+	}
+	switch s {
+	case "online":
+		return reachac.Online, nil
+	case "index":
+		return reachac.Index, nil
+	case "index-paper":
+		return reachac.IndexPaperJoin, nil
+	}
+	return 0, fmt.Errorf("unknown -engine %q (have online, online-dfs, online-adaptive, closure, index, index-paper)", s)
+}

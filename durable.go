@@ -110,6 +110,10 @@ func Open(dir string, opts ...Option) (*Network, error) {
 	n := newNetwork(rec.Graph, rec.Store)
 	n.wal = l
 	n.replSource = replica.NewSource(dir, epoch, l)
+	// A tail request carrying a higher epoch is proof a newer leadership
+	// exists (a promoted follower's replica client, or a re-pointed VIP):
+	// fence this leader before it diverges from the new history.
+	n.replSource.OnStaleEpoch(func(e uint64) { n.ObserveEpoch(e) })
 	n.ckptEvery = cfg.ckptEvery
 	n.route = cfg.route
 	n.autoMigrate = cfg.planner.AutoMigrate
@@ -189,8 +193,8 @@ func (n *Network) Checkpoint() error {
 	return nil
 }
 
-// writeGuardLocked rejects mutations on closed, WAL-poisoned or read-replica
-// networks. Callers hold n.mu.
+// writeGuardLocked rejects mutations on closed, WAL-poisoned, fenced or
+// read-replica networks. Callers hold n.mu.
 func (n *Network) writeGuardLocked() error {
 	if n.closed {
 		return fmt.Errorf("reachac: %w", ErrClosed)
@@ -198,11 +202,45 @@ func (n *Network) writeGuardLocked() error {
 	if n.follower != nil {
 		return n.errFollowerReadOnly()
 	}
+	if fe := n.fencedEpoch.Load(); fe != 0 {
+		return fmt.Errorf("reachac: leader epoch %d superseded by observed epoch %d: %w",
+			n.replSource.Epoch(), fe, ErrReadOnly)
+	}
 	if n.walErr != nil {
 		return fmt.Errorf("reachac: %w: %v", ErrReadOnly, n.walErr)
 	}
 	return nil
 }
+
+// ObserveEpoch tells a durable leader that leadership epoch e exists
+// somewhere. When e exceeds the leader's own epoch, the leader fences
+// itself: further mutations fail with ErrReadOnly, so a superseded leader
+// still receiving traffic (a stale VIP, a slow DNS flip) serves stale READS
+// instead of growing a divergent history no follower will accept. Reads and
+// replication shipping continue — a catching-up follower can still drain
+// this leader's tail before re-pointing. The report is true when the
+// network is (now) fenced. Lower or equal epochs, non-durable networks and
+// followers are no-ops. The replication endpoints call this automatically
+// for every higher-epoch tail request; it is exported for serving layers
+// with out-of-band epoch signals (an epoch file, a coordination service).
+func (n *Network) ObserveEpoch(e uint64) bool {
+	if n.replSource == nil || n.follower != nil {
+		return false
+	}
+	if e <= n.replSource.Epoch() {
+		return n.fencedEpoch.Load() != 0
+	}
+	for {
+		cur := n.fencedEpoch.Load()
+		if cur >= e || n.fencedEpoch.CompareAndSwap(cur, e) {
+			return true
+		}
+	}
+}
+
+// Fenced reports whether the leader fenced itself after observing a higher
+// leadership epoch (see ObserveEpoch).
+func (n *Network) Fenced() bool { return n.fencedEpoch.Load() != 0 }
 
 // commitLocked durably appends one committed batch's operations as a single
 // atomic record group, then triggers a background checkpoint if the segment

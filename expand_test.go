@@ -1,0 +1,352 @@
+package reachac
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"reachac/internal/ring"
+)
+
+// These tests drive View.ShardExpand the way internal/shard's router does —
+// a full distributed sweep simulated over one view, where each "shard" call
+// only advances states it owns on the ring and everything else round-trips
+// as a boundary exit — and assert the result equals the local oracle
+// (CheckPath / PathAudience) for every path shape the router routes.
+
+// expandSweep runs the router's sweep discipline against a single view:
+// dispatch each frontier slice with the owner's Self index, dedupe exits
+// against the global visited set, and merge complete retired sets only after
+// the exits have formed the next frontier (exits are a subset of retired).
+func expandSweep(t *testing.T, v *View, shards int, path, seed, requester string, retired bool) (accepted []string, found bool, visited map[ShardState]struct{}) {
+	t.Helper()
+	rg, err := ring.New(shards, ring.DefaultVNodes)
+	if err != nil {
+		t.Fatalf("ring.New(%d): %v", shards, err)
+	}
+	start := ShardState{Name: seed, Step: 0, D: 0}
+	visited = map[ShardState]struct{}{start: {}}
+	frontier := map[int][]ShardState{rg.Owner(seed): {start}}
+	accSet := make(map[string]struct{})
+	for len(frontier) > 0 && !found {
+		var replies []ShardExpandResponse
+		for self, states := range frontier {
+			resp, err := v.ShardExpand(ShardExpandRequest{
+				Path: path, Shards: shards, Self: self,
+				States: states, Requester: requester, Retired: retired,
+			})
+			if err != nil {
+				t.Fatalf("ShardExpand(self=%d, path=%s): %v", self, path, err)
+			}
+			replies = append(replies, resp)
+		}
+		next := make(map[int][]ShardState)
+		for _, resp := range replies {
+			if resp.Found {
+				found = true
+			}
+			for _, name := range resp.Accepted {
+				accSet[name] = struct{}{}
+			}
+			for _, st := range resp.Exits {
+				if _, dup := visited[st]; dup {
+					continue
+				}
+				visited[st] = struct{}{}
+				next[rg.Owner(st.Name)] = append(next[rg.Owner(st.Name)], st)
+			}
+		}
+		for _, resp := range replies {
+			for _, st := range resp.Retired {
+				visited[st] = struct{}{}
+			}
+		}
+		frontier = next
+	}
+	for name := range accSet {
+		accepted = append(accepted, name)
+	}
+	sort.Strings(accepted)
+	return accepted, found, visited
+}
+
+func expandTestNetwork(t *testing.T) (*Network, *View, []string) {
+	t.Helper()
+	n := New()
+	t.Cleanup(func() { n.Close() })
+	var names []string
+	ids := make(map[string]UserID)
+	for i := 0; i < 40; i++ {
+		name := fmt.Sprintf("x%02d", i)
+		var attrs []Attr
+		if i%3 == 0 {
+			dept := "eng"
+			if i%6 == 0 {
+				dept = "ops"
+			}
+			attrs = append(attrs, StringAttr("dept", dept), IntAttr("level", i%5))
+		}
+		ids[name] = n.MustAddUser(name, attrs...)
+		names = append(names, name)
+	}
+	rng := rand.New(rand.NewSource(7))
+	labels := []string{"friend", "colleague", "parent"}
+	added := make(map[string]struct{})
+	for len(added) < 220 {
+		from := names[rng.Intn(len(names))]
+		to := names[rng.Intn(len(names))]
+		label := labels[rng.Intn(len(labels))]
+		key := from + "|" + to + "|" + label
+		if from == to {
+			continue
+		}
+		if _, dup := added[key]; dup {
+			continue
+		}
+		added[key] = struct{}{}
+		if err := n.Relate(ids[from], ids[to], label); err != nil {
+			t.Fatalf("Relate(%s): %v", key, err)
+		}
+	}
+	v, err := n.View()
+	if err != nil {
+		t.Fatalf("View: %v", err)
+	}
+	t.Cleanup(v.Close)
+	return n, v, names
+}
+
+var expandCatalog = []string{
+	`friend*[1]`,
+	`friend+[1,2]`,
+	`friend-[1]`,
+	`friend+[1,2]/colleague+[1]`,
+	`parent+[1]/friend+[1,2]`,
+	`friend+[1,2]{dept="eng"}`,
+	`friend+[2,*]`,
+}
+
+// TestShardExpandSweepMatchesOracle: a simulated multi-shard sweep must
+// accept exactly the local engine's path audience, and point queries must
+// agree with CheckPath, for every catalog shape and shard count.
+func TestShardExpandSweepMatchesOracle(t *testing.T) {
+	_, v, names := expandTestNetwork(t)
+	for _, shards := range []int{1, 2, 3} {
+		for _, path := range expandCatalog {
+			seed := names[3]
+			seedID, _ := v.UserID(seed)
+			wantIDs, err := v.PathAudience(seedID, path)
+			if err != nil {
+				t.Fatalf("PathAudience(%s): %v", path, err)
+			}
+			want := make([]string, 0, len(wantIDs))
+			for _, id := range wantIDs {
+				name, ok := v.UserName(id)
+				if !ok {
+					t.Fatalf("no name for id %d", id)
+				}
+				want = append(want, name)
+			}
+			sort.Strings(want)
+			got, _, _ := expandSweep(t, v, shards, path, seed, "", false)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("shards=%d path=%s: sweep accepted %v, oracle audience %v", shards, path, got, want)
+			}
+
+			for _, req := range []string{names[7], names[20], names[33]} {
+				reqID, _ := v.UserID(req)
+				want, err := v.CheckPath(seedID, reqID, path)
+				if err != nil {
+					t.Fatalf("CheckPath(%s): %v", path, err)
+				}
+				_, found, _ := expandSweep(t, v, shards, path, seed, req, false)
+				if found != want {
+					t.Fatalf("shards=%d path=%s req=%s: sweep found=%v oracle=%v", shards, path, req, found, want)
+				}
+			}
+		}
+	}
+}
+
+// TestShardExpandRetiredSets: with Retired set, every shard echoes its
+// complete retired state set — a superset of its exits, always including the
+// dispatched states — so the router can build cache-maintenance metadata.
+func TestShardExpandRetiredSets(t *testing.T) {
+	_, v, names := expandTestNetwork(t)
+	seed := names[3]
+	path := `friend+[1,2]/colleague+[1]`
+	accPlain, _, _ := expandSweep(t, v, 3, path, seed, "", false)
+	accRetired, _, visited := expandSweep(t, v, 3, path, seed, "", true)
+	if fmt.Sprint(accPlain) != fmt.Sprint(accRetired) {
+		t.Fatalf("retired sweep changed the answer: %v vs %v", accPlain, accRetired)
+	}
+	if _, ok := visited[ShardState{Name: seed, Step: 0, D: 0}]; !ok {
+		t.Fatalf("retired visited set lost the seed state")
+	}
+	// The retained visited set must dominate the plain sweep's boundary-only
+	// set: it adds the locally-explored interior states.
+	_, _, plainVisited := expandSweep(t, v, 3, path, seed, "", false)
+	if len(visited) < len(plainVisited) {
+		t.Fatalf("retired visited %d states, plain boundary tracking %d", len(visited), len(plainVisited))
+	}
+}
+
+// TestShardExpandResolve: users are replicated everywhere, so any shard
+// reports which names do not exist; resolve-only requests skip the search.
+func TestShardExpandResolve(t *testing.T) {
+	_, v, names := expandTestNetwork(t)
+	resp, err := v.ShardExpand(ShardExpandRequest{
+		Path: `friend*[1]`, Shards: 2, Self: 0,
+		Resolve: []string{names[0], "nobody", names[1], "ghost"},
+	})
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	sort.Strings(resp.Missing)
+	if fmt.Sprint(resp.Missing) != fmt.Sprint([]string{"ghost", "nobody"}) {
+		t.Fatalf("missing = %v, want [ghost nobody]", resp.Missing)
+	}
+	if resp.Accepted != nil || resp.Exits != nil || resp.Found {
+		t.Fatalf("resolve-only request ran a search: %+v", resp)
+	}
+}
+
+// TestShardExpandUnknownStatesSkipped: a state naming a user this shard has
+// not replicated yet expands to nothing — under-approximation is the safe
+// direction because the router fails checks closed on errors, not on lag.
+func TestShardExpandUnknownStatesSkipped(t *testing.T) {
+	_, v, _ := expandTestNetwork(t)
+	resp, err := v.ShardExpand(ShardExpandRequest{
+		Path: `friend+[1,2]`, Shards: 1, Self: 0,
+		States: []ShardState{{Name: "never-added", Step: 0, D: 0}},
+	})
+	if err != nil {
+		t.Fatalf("unknown state: %v", err)
+	}
+	if len(resp.Accepted) != 0 || len(resp.Exits) != 0 {
+		t.Fatalf("unknown state expanded: %+v", resp)
+	}
+}
+
+// TestShardExpandAbsentLabel: a label with no local edges matches nothing
+// locally without being an error — absence is not global unreachability.
+func TestShardExpandAbsentLabel(t *testing.T) {
+	_, v, names := expandTestNetwork(t)
+	resp, err := v.ShardExpand(ShardExpandRequest{
+		Path: `nosuchlabel+[1,3]`, Shards: 1, Self: 0,
+		States: []ShardState{{Name: names[0], Step: 0, D: 0}},
+	})
+	if err != nil {
+		t.Fatalf("absent label: %v", err)
+	}
+	if len(resp.Accepted) != 0 || len(resp.Exits) != 0 {
+		t.Fatalf("absent label expanded: %+v", resp)
+	}
+}
+
+func TestShardExpandRequestValidation(t *testing.T) {
+	_, v, names := expandTestNetwork(t)
+	st := []ShardState{{Name: names[0], Step: 0, D: 0}}
+	cases := []struct {
+		name string
+		req  ShardExpandRequest
+	}{
+		{"bad path", ShardExpandRequest{Path: `???`, Shards: 2, Self: 0, States: st}},
+		{"zero shards", ShardExpandRequest{Path: `friend*[1]`, Shards: 0, Self: 0, States: st}},
+		{"self out of range", ShardExpandRequest{Path: `friend*[1]`, Shards: 2, Self: 7, States: st}},
+		{"negative self", ShardExpandRequest{Path: `friend*[1]`, Shards: 2, Self: -1, States: st}},
+		{"step out of range", ShardExpandRequest{Path: `friend*[1]`, Shards: 2, Self: 0,
+			States: []ShardState{{Name: names[0], Step: 4, D: 0}}}},
+		{"negative d", ShardExpandRequest{Path: `friend*[1]`, Shards: 2, Self: 0,
+			States: []ShardState{{Name: names[0], Step: 0, D: -2}}}},
+		{"depth beyond limit", ShardExpandRequest{Path: `friend+[1,40000]`, Shards: 2, Self: 0, States: st}},
+	}
+	for _, tc := range cases {
+		if _, err := v.ShardExpand(tc.req); err == nil {
+			t.Errorf("%s: expected an error", tc.name)
+		}
+	}
+}
+
+// TestCachedParsePathAndRing: the per-shard memoization layers — repeat
+// lookups hit, invalid inputs never populate, and the path cache stays
+// bounded against adversarial expression streams.
+func TestCachedParsePathAndRing(t *testing.T) {
+	p1, err := cachedParsePath(`colleague+[1,4]`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p2, err := cachedParsePath(`colleague+[1,4]`)
+	if err != nil || p1 != p2 {
+		t.Fatalf("second parse did not hit the cache: %p vs %p (%v)", p1, p2, err)
+	}
+	if _, err := cachedParsePath(`!!`); err == nil {
+		t.Fatalf("invalid path parsed")
+	}
+	// Flood past the bound: the cache must stop growing, not evict-thrash.
+	for i := 0; i < 2*pathCacheMax; i++ {
+		if _, err := cachedParsePath(fmt.Sprintf(`friend+[1,%d]`, i+2)); err != nil {
+			t.Fatalf("flood parse %d: %v", i, err)
+		}
+	}
+	pathCacheMu.RLock()
+	size := len(pathCache)
+	pathCacheMu.RUnlock()
+	if size > pathCacheMax {
+		t.Fatalf("path cache grew to %d entries past its %d bound", size, pathCacheMax)
+	}
+
+	r1, err := cachedRing(5, 0)
+	if err != nil {
+		t.Fatalf("ring: %v", err)
+	}
+	r2, err := cachedRing(5, 0)
+	if err != nil || r1 != r2 {
+		t.Fatalf("second ring lookup did not hit the cache")
+	}
+	if _, err := cachedRing(0, 0); err == nil {
+		t.Fatalf("zero-shard ring constructed")
+	}
+}
+
+// TestPolicyDump: the name-keyed policy export the router bootstraps from.
+func TestPolicyDump(t *testing.T) {
+	n := New()
+	defer n.Close()
+	owner := n.MustAddUser("powner")
+	n.MustAddUser("pother")
+	if _, err := n.Share("doc-a", owner, `friend+[1,2]`, `colleague*[1]`); err != nil {
+		t.Fatalf("share doc-a: %v", err)
+	}
+	if _, err := n.Share("doc-b", owner, `parent-[1]`); err != nil {
+		t.Fatalf("share doc-b: %v", err)
+	}
+	v, err := n.View()
+	if err != nil {
+		t.Fatalf("view: %v", err)
+	}
+	defer v.Close()
+	dump := v.PolicyDump()
+	if len(dump) != 2 {
+		t.Fatalf("dump has %d resources, want 2: %+v", len(dump), dump)
+	}
+	byRes := make(map[string]ResourcePolicy)
+	for _, rp := range dump {
+		byRes[rp.Resource] = rp
+	}
+	a, ok := byRes["doc-a"]
+	if !ok || a.Owner != "powner" {
+		t.Fatalf("doc-a dump wrong: %+v", a)
+	}
+	if len(a.Rules) != 1 || len(a.Rules[0].Paths) != 2 {
+		t.Fatalf("doc-a rules wrong: %+v", a.Rules)
+	}
+	sort.Strings(a.Rules[0].Paths)
+	if a.Rules[0].Paths[0] != `colleague*[1]` || a.Rules[0].Paths[1] != `friend+[1,2]` {
+		t.Fatalf("doc-a paths did not round-trip canonically: %v", a.Rules[0].Paths)
+	}
+	if b := byRes["doc-b"]; b.Owner != "powner" || len(b.Rules) != 1 || b.Rules[0].Paths[0] != `parent-[1]` {
+		t.Fatalf("doc-b dump wrong: %+v", byRes["doc-b"])
+	}
+}

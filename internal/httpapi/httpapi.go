@@ -21,6 +21,13 @@ const (
 	PathReachAudience = "/v1/reach-audience"
 	PathPolicies      = "/v1/policies"
 	PathAudit         = "/v1/audit"
+	// PathShardExpand and PathShardPolicies are the shard-internal endpoints
+	// the router (internal/shard, cmd/acshardd) drives: one round of the
+	// distributed reachability search, and the name-keyed policy dump the
+	// router rebuilds its routing cache from. Harmless (read-only) but
+	// useless to ordinary clients.
+	PathShardExpand   = "/v1/shard/expand"
+	PathShardPolicies = "/v1/shard/policies"
 )
 
 // Error codes carried by ErrorBody.Code; the client maps them back to the
@@ -38,6 +45,10 @@ const (
 	CodeClosed                = "closed"
 	CodeOverloaded            = "overloaded"
 	CodeInternal              = "internal"
+	// CodeShardUnavailable marks a scatter-gather decision the router failed
+	// CLOSED because a shard it needed did not answer: the caller cannot
+	// distinguish deny-by-policy from deny-by-outage without it.
+	CodeShardUnavailable = "shard-unavailable"
 )
 
 // ErrorBody is the JSON body of every non-2xx response.
@@ -178,6 +189,67 @@ type HealthResponse struct {
 // the spirit of Retry-After. Absent on leaders.
 const HeaderStaleness = "X-Replica-Staleness-Ms"
 
+// HeaderShardPartial is set by the shard router on audience responses that
+// are missing one or more shards' contributions: a comma-separated list of
+// the unreachable shard indexes. Audiences degrade to a partial (under-
+// approximate) answer instead of failing, but the caller must be able to
+// tell. Checks never carry it — they fail closed instead.
+const HeaderShardPartial = "X-Shard-Partial"
+
+// ShardState, ShardExpandRequest and ShardExpandResponse are the wire form
+// of one distributed-search round; the facade types already carry JSON tags,
+// so the API reuses them directly.
+type (
+	ShardState          = reachac.ShardState
+	ShardExpandRequest  = reachac.ShardExpandRequest
+	ShardExpandResponse = reachac.ShardExpandResponse
+)
+
+// ShardPoliciesResponse is the name-keyed policy dump of one shard.
+type ShardPoliciesResponse struct {
+	Policies []reachac.ResourcePolicy `json:"policies"`
+}
+
+// RouterStats counts shard-router events (internal/shard).
+type RouterStats struct {
+	// Shards and VNodes echo the ring parameters.
+	Shards int `json:"shards"`
+	VNodes int `json:"vnodes"`
+	// FastPath counts checks delegated whole to the resource owner's shard;
+	// Scatter counts queries the router answered by distributed search.
+	FastPath uint64 `json:"fast_path"`
+	Scatter  uint64 `json:"scatter"`
+	// ExpandCalls counts shard expand RPCs issued; ExpandRounds counts
+	// scatter rounds (ExpandCalls/ExpandRounds is the fan-out factor).
+	ExpandCalls  uint64 `json:"expand_calls"`
+	ExpandRounds uint64 `json:"expand_rounds"`
+	// BoundaryEdges counts cross-shard relationships (written to both
+	// owners); LocalEdges counts co-located ones.
+	BoundaryEdges uint64 `json:"boundary_edges"`
+	LocalEdges    uint64 `json:"local_edges"`
+	// AudienceCacheHits / AudienceCacheMisses track the router's
+	// condition-audience cache; AudienceCacheExtends counts entries grown
+	// in place by an edge add, AudienceCacheInvalidate entries dropped
+	// because a delta may have shrunk them (incremental maintenance).
+	AudienceCacheHits       uint64 `json:"audience_cache_hits"`
+	AudienceCacheMisses     uint64 `json:"audience_cache_misses"`
+	AudienceCacheExtends    uint64 `json:"audience_cache_extends"`
+	AudienceCacheInvalidate uint64 `json:"audience_cache_invalidations"`
+	// Partial counts audience responses served incomplete; FailedClosed
+	// counts checks refused because a shard was unreachable.
+	Partial      uint64 `json:"partial"`
+	FailedClosed uint64 `json:"failed_closed"`
+}
+
+// ShardStats summarizes one backend as seen from the router.
+type ShardStats struct {
+	Index         int    `json:"index"`
+	Engine        string `json:"engine"`
+	Users         int    `json:"users"`
+	Relationships int    `json:"relationships"`
+	Healthy       bool   `json:"healthy"`
+}
+
 // ServerStats counts serving-layer events on top of the engine counters.
 type ServerStats struct {
 	// CommitGroups counts coalesced commit groups the server flushed;
@@ -195,8 +267,12 @@ type ServerStats struct {
 	QueueDepth int `json:"queue_depth"`
 }
 
-// StatsResponse combines the engine's counters with the server's.
+// StatsResponse combines the engine's counters with the server's. A shard
+// router additionally reports its routing counters and per-shard summaries
+// (the embedded Stats then aggregate across shards).
 type StatsResponse struct {
 	reachac.Stats
-	Server ServerStats `json:"server"`
+	Server     ServerStats  `json:"server"`
+	Router     *RouterStats `json:"router,omitempty"`
+	ShardStats []ShardStats `json:"shard_stats,omitempty"`
 }

@@ -27,6 +27,10 @@ type Source struct {
 	dir   string
 	epoch uint64
 	log   *wal.Log
+	// staleObserver, when set, is told about every request that carries a
+	// leadership epoch HIGHER than ours — proof that a newer leadership
+	// exists and this leader should fence its writes.
+	staleObserver func(epoch uint64)
 }
 
 // NewSource builds a Source over the leader's log directory, leadership
@@ -37,6 +41,10 @@ func NewSource(dir string, epoch uint64, log *wal.Log) *Source {
 
 // Epoch returns the leadership epoch the source serves under.
 func (s *Source) Epoch() uint64 { return s.epoch }
+
+// OnStaleEpoch installs the higher-epoch observer. Call before Register;
+// the handlers read the field without synchronization.
+func (s *Source) OnStaleEpoch(fn func(epoch uint64)) { s.staleObserver = fn }
 
 // Register mounts the replication endpoints on mux.
 func (s *Source) Register(mux *http.ServeMux) {
@@ -127,6 +135,9 @@ func (s *Source) handleTail(w http.ResponseWriter, r *http.Request) {
 		wait = min(time.Duration(ms)*time.Millisecond, maxWait)
 	}
 	if epoch != s.epoch {
+		if epoch > s.epoch && s.staleObserver != nil {
+			s.staleObserver(epoch)
+		}
 		s.conflict(w, "epoch", fmt.Sprintf("leader epoch is %d, request carries %d", s.epoch, epoch))
 		return
 	}

@@ -118,6 +118,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET "+httpapi.PathPolicies, s.handleGetPolicies)
 	s.mux.HandleFunc("PUT "+httpapi.PathPolicies, s.handlePutPolicies)
 	s.mux.HandleFunc("GET "+httpapi.PathAudit, s.handleAudit)
+	s.mux.HandleFunc("POST "+httpapi.PathShardExpand, s.handleShardExpand)
+	s.mux.HandleFunc("GET "+httpapi.PathShardPolicies, s.handleShardPolicies)
 	if src := s.net.ReplicaSource(); src != nil {
 		// A durable leader is followable: mount the WAL-shipping endpoints.
 		src.Register(s.mux)
@@ -660,6 +662,46 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		out[i] = wireDecision(v, d)
 	}
 	writeJSON(w, http.StatusOK, httpapi.AuditResponse{Decisions: out})
+}
+
+// handleShardExpand advances one round of a distributed reachability search
+// over this backend's local subgraph, on behalf of a shard router. It is a
+// read like any other: same snapshot isolation, same admission gate.
+func (s *Server) handleShardExpand(w http.ResponseWriter, r *http.Request) {
+	var req httpapi.ShardExpandRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.gate.release()
+	v, ok := s.view(w)
+	if !ok {
+		return
+	}
+	defer v.Close()
+	resp, err := v.ShardExpand(req)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleShardPolicies dumps this backend's policy store keyed by user name
+// (the SavePolicies form embeds shard-local IDs, useless cross-process).
+func (s *Server) handleShardPolicies(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.gate.release()
+	v, ok := s.view(w)
+	if !ok {
+		return
+	}
+	defer v.Close()
+	writeJSON(w, http.StatusOK, httpapi.ShardPoliciesResponse{Policies: v.PolicyDump()})
 }
 
 func idsToNames(v *reachac.View, ids []reachac.UserID) []string {

@@ -1,0 +1,318 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"reachac"
+	"reachac/client"
+	"reachac/internal/httpapi"
+)
+
+// Handler exposes a Router over the same HTTP/JSON API acserverd speaks, so
+// the typed client package (and anything written against it) works against
+// a sharded deployment unchanged. Partial audiences carry the
+// X-Shard-Partial header; failed-closed checks answer 503 with the
+// shard-unavailable code.
+type Handler struct {
+	r   *Router
+	mux *http.ServeMux
+}
+
+// NewHandler mounts router on a fresh mux.
+func NewHandler(r *Router) *Handler {
+	h := &Handler{r: r, mux: http.NewServeMux()}
+	h.mux.HandleFunc("GET "+httpapi.PathHealth, h.handleHealth)
+	h.mux.HandleFunc("GET "+httpapi.PathStats, h.handleStats)
+	h.mux.HandleFunc("POST "+httpapi.PathUsers, h.handleAddUser)
+	h.mux.HandleFunc("GET "+httpapi.PathUsers+"/{name}", h.handleGetUser)
+	h.mux.HandleFunc("POST "+httpapi.PathRelationships, h.handleRelate)
+	h.mux.HandleFunc("DELETE "+httpapi.PathRelationships, h.handleUnrelate)
+	h.mux.HandleFunc("POST "+httpapi.PathShare, h.handleShare)
+	h.mux.HandleFunc("POST "+httpapi.PathRevoke, h.handleRevoke)
+	h.mux.HandleFunc("GET "+httpapi.PathCheck, h.handleCheck)
+	h.mux.HandleFunc("POST "+httpapi.PathCheckBatch, h.handleCheckBatch)
+	h.mux.HandleFunc("GET "+httpapi.PathAudience, h.handleAudience)
+	h.mux.HandleFunc("GET "+httpapi.PathReach, h.handleReach)
+	h.mux.HandleFunc("GET "+httpapi.PathReachAudience, h.handleReachAudience)
+	h.mux.HandleFunc("GET "+httpapi.PathAudit, h.handleAudit)
+	return h
+}
+
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// Router returns the wrapped router (stats, shutdown).
+func (h *Handler) Router() *Router { return h.r }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func badRequest(w http.ResponseWriter, err error) {
+	writeJSON(w, http.StatusBadRequest, httpapi.ErrorBody{Error: err.Error(), Code: httpapi.CodeBadRequest})
+}
+
+// httpError maps router/backend errors onto the wire codes. A remote
+// backend's *client.Error passes its code through verbatim, so the router
+// is transparent to API errors a shard already classified.
+func (h *Handler) httpError(w http.ResponseWriter, err error) {
+	var apiErr *client.Error
+	if errors.As(err, &apiErr) && apiErr.Code != "" {
+		writeJSON(w, apiErr.Status, httpapi.ErrorBody{Error: apiErr.Message, Code: apiErr.Code})
+		return
+	}
+	status, code := http.StatusInternalServerError, httpapi.CodeInternal
+	switch {
+	case errors.Is(err, ErrShardUnavailable):
+		status, code = http.StatusServiceUnavailable, httpapi.CodeShardUnavailable
+	case errors.Is(err, reachac.ErrUnknownUser):
+		status, code = http.StatusNotFound, httpapi.CodeUnknownUser
+	case errors.Is(err, reachac.ErrUnknownResource):
+		status, code = http.StatusNotFound, httpapi.CodeUnknownResource
+	case errors.Is(err, reachac.ErrUnknownRelationship):
+		status, code = http.StatusNotFound, httpapi.CodeUnknownRelationship
+	case errors.Is(err, reachac.ErrDuplicateUser):
+		status, code = http.StatusConflict, httpapi.CodeDuplicateUser
+	case errors.Is(err, reachac.ErrDuplicateRelationship):
+		status, code = http.StatusConflict, httpapi.CodeDuplicateRelationship
+	case errors.Is(err, reachac.ErrSelfRelationship):
+		status, code = http.StatusBadRequest, httpapi.CodeSelfRelationship
+	case errors.Is(err, reachac.ErrResourceOwned):
+		status, code = http.StatusConflict, httpapi.CodeResourceOwned
+	case errors.Is(err, reachac.ErrReadOnly):
+		status, code = http.StatusServiceUnavailable, httpapi.CodeReadOnly
+	case errors.Is(err, reachac.ErrClosed):
+		status, code = http.StatusServiceUnavailable, httpapi.CodeClosed
+	case errors.Is(err, ErrUnsupported):
+		status, code = http.StatusBadRequest, httpapi.CodeBadRequest
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		status, code = http.StatusServiceUnavailable, httpapi.CodeOverloaded
+	}
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, httpapi.ErrorBody{Error: err.Error(), Code: code})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		badRequest(w, fmt.Errorf("decoding request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func setPartial(w http.ResponseWriter, partial []int) {
+	if len(partial) == 0 {
+		return
+	}
+	parts := make([]string, len(partial))
+	for i, idx := range partial {
+		parts[i] = strconv.Itoa(idx)
+	}
+	w.Header().Set(httpapi.HeaderShardPartial, strings.Join(parts, ","))
+}
+
+func (h *Handler) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.r.Health(r.Context()))
+}
+
+func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.r.Stats(r.Context()))
+}
+
+func (h *Handler) handleAddUser(w http.ResponseWriter, r *http.Request) {
+	var req httpapi.AddUserRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Name == "" {
+		badRequest(w, errors.New("name is required"))
+		return
+	}
+	id, err := h.r.AddUser(r.Context(), req.Name, req.Attrs)
+	if err != nil {
+		h.httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, httpapi.UserResponse{ID: id, Name: req.Name})
+}
+
+func (h *Handler) handleGetUser(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	id, err := h.r.UserID(r.Context(), name)
+	if err != nil {
+		h.httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, httpapi.UserResponse{ID: id, Name: name})
+}
+
+func (h *Handler) handleRelate(w http.ResponseWriter, r *http.Request) {
+	var req httpapi.RelateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.From == "" || req.To == "" || req.Type == "" {
+		badRequest(w, errors.New("from, to and type are required"))
+		return
+	}
+	if err := h.r.Relate(r.Context(), req.From, req.To, req.Type, req.Mutual); err != nil {
+		h.httpError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (h *Handler) handleUnrelate(w http.ResponseWriter, r *http.Request) {
+	var req httpapi.UnrelateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := h.r.Unrelate(r.Context(), req.From, req.To, req.Type); err != nil {
+		h.httpError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (h *Handler) handleShare(w http.ResponseWriter, r *http.Request) {
+	var req httpapi.ShareRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Resource == "" || req.Owner == "" || len(req.Paths) == 0 {
+		badRequest(w, errors.New("resource, owner and at least one path are required"))
+		return
+	}
+	for _, p := range req.Paths {
+		if _, err := reachac.ParsePath(p); err != nil {
+			badRequest(w, err)
+			return
+		}
+	}
+	rule, err := h.r.Share(r.Context(), req.Resource, req.Owner, req.Paths)
+	if err != nil {
+		h.httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, httpapi.ShareResponse{Rule: rule})
+}
+
+func (h *Handler) handleRevoke(w http.ResponseWriter, r *http.Request) {
+	var req httpapi.RevokeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	removed, err := h.r.Revoke(r.Context(), req.Resource, req.Rule)
+	if err != nil {
+		h.httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, httpapi.RevokeResponse{Removed: removed})
+}
+
+func (h *Handler) handleCheck(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	resource, requester := q.Get("resource"), q.Get("requester")
+	if resource == "" || requester == "" {
+		badRequest(w, errors.New("resource and requester are required"))
+		return
+	}
+	d, err := h.r.Check(r.Context(), resource, requester)
+	if err != nil {
+		h.httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
+func (h *Handler) handleCheckBatch(w http.ResponseWriter, r *http.Request) {
+	var req httpapi.CheckBatchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Resource == "" {
+		badRequest(w, errors.New("resource is required"))
+		return
+	}
+	ds, err := h.r.CheckBatch(r.Context(), req.Resource, req.Requesters)
+	if err != nil {
+		h.httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, httpapi.CheckBatchResponse{Decisions: ds})
+}
+
+func (h *Handler) handleAudience(w http.ResponseWriter, r *http.Request) {
+	resource := r.URL.Query().Get("resource")
+	if resource == "" {
+		badRequest(w, errors.New("resource is required"))
+		return
+	}
+	names, partial, err := h.r.Audience(r.Context(), resource)
+	if err != nil {
+		h.httpError(w, err)
+		return
+	}
+	setPartial(w, partial)
+	writeJSON(w, http.StatusOK, httpapi.UsersResponse{Users: names})
+}
+
+func (h *Handler) handleReach(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	owner, requester, path := q.Get("owner"), q.Get("requester"), q.Get("path")
+	if owner == "" || requester == "" || path == "" {
+		badRequest(w, errors.New("owner, requester and path are required"))
+		return
+	}
+	canonical, err := reachac.ParsePath(path)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	reached, err := h.r.Reach(r.Context(), owner, requester, path)
+	if err != nil {
+		h.httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, httpapi.ReachResponse{Reachable: reached, Path: canonical})
+}
+
+func (h *Handler) handleReachAudience(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	owner, path := q.Get("owner"), q.Get("path")
+	if owner == "" || path == "" {
+		badRequest(w, errors.New("owner and path are required"))
+		return
+	}
+	names, partial, err := h.r.ReachAudience(r.Context(), owner, path)
+	if err != nil {
+		h.httpError(w, err)
+		return
+	}
+	setPartial(w, partial)
+	writeJSON(w, http.StatusOK, httpapi.UsersResponse{Users: names})
+}
+
+func (h *Handler) handleAudit(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		var err error
+		if n, err = strconv.Atoi(raw); err != nil || n < 0 {
+			badRequest(w, errors.New("n must be a non-negative integer"))
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, httpapi.AuditResponse{Decisions: h.r.Audit(n)})
+}

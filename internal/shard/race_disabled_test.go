@@ -1,0 +1,7 @@
+//go:build !race
+
+package shard_test
+
+// raceEnabled reports the race detector is compiled in (see the race-tagged
+// twin for why the differential matrix shrinks under it).
+const raceEnabled = false

@@ -163,6 +163,12 @@ type Network struct {
 	// applyReplicated. See follow.go and internal/replica.
 	replSource *replica.Source
 	follower   *replica.Follower
+	// fencedEpoch, when non-zero, is a HIGHER leadership epoch this leader
+	// observed through its replication endpoints: a follower was promoted
+	// elsewhere, so this leader is superseded and fences itself — every
+	// further mutation is ErrReadOnly, before the histories can diverge.
+	// See Network.ObserveEpoch in durable.go.
+	fencedEpoch atomic.Uint64
 
 	// planner accumulates routing statistics and owns the decision-cache
 	// counters; it lives as long as the network, surviving snapshot

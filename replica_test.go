@@ -2,6 +2,7 @@ package reachac
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -14,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"reachac/internal/replica"
 	"reachac/internal/wal"
 )
 
@@ -405,6 +407,102 @@ func TestPromoteFollower(t *testing.T) {
 	}
 	if promoted.ReplicaSource() == nil {
 		t.Fatal("promoted leader is not followable")
+	}
+}
+
+// TestFencedLeaderRejectsWrites is the split-brain regression test: a leader
+// that keeps serving after its follower was promoted must fence itself the
+// moment a replication request proves a higher epoch exists — from then on
+// every mutation is ErrReadOnly, while reads (and the old history's tail)
+// keep serving. Two daemons over the same shipped history: old leader A,
+// promoted follower B.
+func TestFencedLeaderRejectsWrites(t *testing.T) {
+	a, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	alice, err := a.AddUser("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Share("doc", alice, "friend+[1,1]"); err != nil {
+		t.Fatal(err)
+	}
+	srvA := serveLeader(t, a)
+
+	bdir := t.TempDir()
+	follower, err := Open(bdir, WithFollow(srvA.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitReplicaCaughtUp(t, follower, a)
+	if err := follower.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Promote B while A is STILL SERVING — the failover scenario fencing
+	// exists for. B's leader open bumps the shared history's epoch past A's.
+	b, err := Open(bdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.ReplicaEpoch() <= a.ReplicaEpoch() {
+		t.Fatalf("promoted epoch %d does not supersede %d", b.ReplicaEpoch(), a.ReplicaEpoch())
+	}
+
+	// A request carrying a LOWER epoch (a lagging stale replica) conflicts
+	// but proves nothing newer: A must keep accepting writes.
+	rc := replica.NewClient(srvA.URL, nil)
+	if _, err := rc.Tail(context.Background(), a.ReplicaEpoch()-1, 1, 0, 0); err == nil {
+		t.Fatal("lower-epoch tail did not conflict")
+	}
+	if a.Fenced() {
+		t.Fatal("lower-epoch request fenced the leader")
+	}
+	if _, err := a.AddUser("bob"); err != nil {
+		t.Fatalf("unfenced leader rejects writes: %v", err)
+	}
+
+	// A request carrying B's HIGHER epoch (B's own replica chain, or a
+	// health prober pointed at the new leadership) fences A.
+	if _, err := rc.Tail(context.Background(), b.ReplicaEpoch(), 1, 0, 0); err == nil {
+		t.Fatal("higher-epoch tail did not conflict")
+	}
+	if !a.Fenced() {
+		t.Fatal("higher-epoch request did not fence the leader")
+	}
+	if _, err := a.AddUser("carol"); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("AddUser on fenced leader: %v, want ErrReadOnly", err)
+	}
+	if err := a.Batch(func(tx *Tx) error { return nil }); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Batch on fenced leader: %v, want ErrReadOnly", err)
+	}
+	// Reads keep serving the pre-failover state.
+	if _, ok := a.UserID("alice"); !ok {
+		t.Fatal("fenced leader lost read access to alice")
+	}
+	st := a.Stats()
+	if !st.Fenced || st.FencedByEpoch != b.ReplicaEpoch() {
+		t.Fatalf("fenced stats %+v: want Fenced=true by epoch %d", st, b.ReplicaEpoch())
+	}
+	// The new leader keeps accepting writes, and the old history survived
+	// the handoff.
+	if _, err := b.AddUser("dave"); err != nil {
+		t.Fatalf("promoted leader rejects writes: %v", err)
+	}
+	if _, ok := b.UserID("alice"); !ok {
+		t.Fatal("promoted leader lost replicated user alice")
+	}
+
+	// ObserveEpoch is idempotent and monotonic; stale observations after
+	// fencing change nothing, and non-durable networks never fence.
+	if !a.ObserveEpoch(b.ReplicaEpoch() - 1) {
+		t.Fatal("fenced leader forgot it was fenced")
+	}
+	mem := New()
+	if mem.ObserveEpoch(99) || mem.Fenced() {
+		t.Fatal("non-durable network fenced itself")
 	}
 }
 

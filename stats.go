@@ -84,6 +84,12 @@ type Stats struct {
 	// means replication stopped on a non-retryable fault (epoch regression,
 	// divergence, tamper) and the replica serves frozen state. All are
 	// gauges, passed through Delta unchanged.
+	// Fenced reports a leader that observed a higher leadership epoch
+	// (FencedByEpoch) through its replication endpoints and now rejects
+	// mutations with ErrReadOnly; both are gauges.
+	Fenced        bool   `json:"fenced,omitempty"`
+	FencedByEpoch uint64 `json:"fenced_by_epoch,omitempty"`
+
 	Follower           bool   `json:"follower,omitempty"`
 	ReplicaEpoch       uint64 `json:"replica_epoch,omitempty"`
 	ReplicaConnected   bool   `json:"replica_connected,omitempty"`
@@ -179,6 +185,10 @@ func (n *Network) Stats() Stats {
 		st.WALFsyncs = n.wal.Fsyncs()
 		st.WALSegmentBytes = n.wal.Size()
 		st.WALSegmentSeq = n.wal.Seq()
+	}
+	if fe := n.fencedEpoch.Load(); fe != 0 {
+		st.Fenced = true
+		st.FencedByEpoch = fe
 	}
 	n.replicaStats(&st)
 	return st
