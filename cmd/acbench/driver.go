@@ -165,6 +165,99 @@ func (t *embeddedTarget) engineName() string { return "" }
 
 func (t *embeddedTarget) close() error { return nil }
 
+// --- streamed embedded ---
+
+// viewSource adapts a pinned engine snapshot to workload.Source, so
+// streamed cells can build resource specs and generators without ever
+// materializing a *graph.Graph.
+type viewSource struct{ v *reachac.View }
+
+func (s viewSource) NumNodes() int                { return s.v.NumUsers() }
+func (s viewSource) OutDegree(n graph.NodeID) int { return s.v.OutDegree(n) }
+func (s viewSource) Neighbors(n graph.NodeID, fn func(graph.NodeID) bool) {
+	s.v.Relationships(n, func(to reachac.UserID, _ string) bool { return fn(to) })
+}
+func (s viewSource) HasEdge(from, to graph.NodeID, relType string) bool {
+	return s.v.HasRelationship(from, to, relType)
+}
+
+// streamedCellTarget is an embeddedTarget whose graph arrived via
+// Network.LoadTopology instead of FromGraph, plus the snapshot pin the
+// workload was built against. The pin must be released (releaseView)
+// before the measured window so publication advances cheaply under
+// mutation.
+type streamedCellTarget struct {
+	embeddedTarget
+	view *reachac.View
+}
+
+func (t *streamedCellTarget) releaseView() {
+	if t.view != nil {
+		t.view.Close()
+		t.view = nil
+	}
+}
+
+func (t *streamedCellTarget) close() error {
+	t.releaseView()
+	return t.embeddedTarget.close()
+}
+
+// streamedCell bundles what runScenario needs from a streamed build: the
+// target, the Source the generators sample (valid until release), the
+// pre-shared specs, and the loaded counts (the graph itself never
+// existed to ask).
+type streamedCell struct {
+	target       *streamedCellTarget
+	src          workload.Source
+	specs        []workload.ResourceSpec
+	nodes, edges int
+}
+
+func (c *streamedCell) release() { c.target.releaseView() }
+
+// newStreamedCell builds an embedded cell for node counts at/above
+// -stream-min: a fresh network, the topology streamed in as chunked
+// batch commits (bounded peak memory — the point of the streaming
+// generator layer), then specs and a pinned view for workload
+// construction. Mirrors newEmbeddedTarget's ordering: share specs first,
+// select the engine last.
+func newStreamedCell(top generate.Topology, kind reachac.EngineKind, sc workload.Scenario, cfg benchConfig) (*streamedCell, error) {
+	var n *reachac.Network
+	if kind == plannerEngine {
+		n = reachac.New(reachac.WithPlanner(reachac.PlannerOptions{}))
+	} else {
+		n = reachac.New()
+	}
+	if err := n.LoadTopology(top, reachac.DefaultLoadChunk); err != nil {
+		return nil, err
+	}
+	v, err := n.View()
+	if err != nil {
+		return nil, err
+	}
+	src := viewSource{v}
+	specs := sc.Resources(src, cfg.resources, cfg.seed+1)
+	if err := shareSpecs(n, specs); err != nil {
+		v.Close()
+		return nil, err
+	}
+	if kind != plannerEngine {
+		if err := n.UseEngine(kind); err != nil {
+			v.Close()
+			return nil, fmt.Errorf("engine %s: %w", kind, err)
+		}
+	}
+	t := &streamedCellTarget{
+		embeddedTarget: embeddedTarget{net: n, specs: specs, rules: newRuleStacks(cfg.workers, len(specs))},
+		view:           v,
+	}
+	return &streamedCell{
+		target: t, src: src, specs: specs,
+		nodes: n.NumUsers(), edges: n.NumRelationships(),
+	}, nil
+}
+
 // --- sharded embedded ---
 
 // shardedTarget drives an in-process shard router over N embedded

@@ -1,7 +1,7 @@
 // Command acbench is the repo's workload/load-generation benchmark: it
-// drives mixed-operation scenarios (internal/workload) through a
-// closed-loop or paced worker pool (internal/loadgen) against either the
-// embedded reachac facade or a real acserverd over HTTP, and writes a
+// drives mixed-operation scenarios (internal/workload's registry) through
+// a closed-loop or paced worker pool (internal/loadgen) against either
+// the embedded reachac facade or a real acserverd over HTTP, and writes a
 // machine-readable artifact (BENCH_acbench.json) with per-scenario
 // throughput, latency percentiles, error/shed counts and engine/WAL
 // counter deltas — the perf trajectory successive PRs are compared on.
@@ -13,6 +13,17 @@
 //	acbench -mode http                   # self-hosts a real serving stack
 //	acbench -mode http -addr host:8708   # drives an external daemon
 //	acbench -mode both -append           # accumulate both into one artifact
+//
+// Scaling sweeps: -nodes takes a comma list and -topology selects the
+// generator family, so one run records a node-count scaling curve
+// (-topology ldbc -nodes 10000,100000,1000000). Embedded cells at or
+// above -stream-min nodes stream the topology straight into batch
+// commits instead of materializing a graph, keeping peak memory bounded.
+//
+// Open-loop latency-under-load: -rates sweeps fixed arrival rates
+// (-rates 2000,10000,40000), recording, per rate, the latency
+// distribution at that load and the shed/error pressure — the
+// latency-under-load curve closed-loop throughput numbers cannot show.
 //
 // Compare against a committed baseline (the CI regression gate):
 //
@@ -46,28 +57,32 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("acbench: ")
 	var (
-		mode      = flag.String("mode", "embedded", "benchmark mode: embedded, http, or both")
-		addr      = flag.String("addr", "", "drive an external acserverd at this address (http mode; default self-hosts one per engine)")
-		engines   = flag.String("engines", "online,index", "comma-separated engine kinds, 'planner' (cost-based routing), or 'all'")
-		scenarios = flag.String("scenarios", "all", "comma-separated scenario mixes, or 'all' (have: read-heavy, write-heavy, check-batch, audience-scan, churn, mixed-shape)")
-		nodes     = flag.Int("nodes", 2000, "social graph size")
-		degree    = flag.Int("degree", 8, "average out-degree of the generated graph")
-		resources = flag.Int("resources", 48, "pre-shared resources per scenario")
-		workers   = flag.Int("workers", 8, "load-generating workers")
-		duration  = flag.Duration("duration", 3*time.Second, "measured window per scenario")
-		warmup    = flag.Duration("warmup", 500*time.Millisecond, "warmup before the measured window")
-		rate      = flag.Float64("rate", 0, "open-loop target ops/sec across all workers (0 = closed loop)")
-		batch     = flag.Int("batch", 16, "check-batch requesters per request")
-		zipf      = flag.Float64("zipf", 0, "requester/resource popularity skew exponent, must be > 1 (0 = workload default 1.2)")
-		shardsCSV = flag.String("shards", "", "comma-separated shard counts; embedded mode routes each cell through an in-process shard router (http mode: labels the cells of an external acshardd)")
-		seed      = flag.Int64("seed", 1, "workload seed")
-		syncMode  = flag.String("sync", "interval", "self-hosted server WAL fsync policy: always, interval, never")
-		out       = flag.String("out", "BENCH_acbench.json", "artifact output path")
-		appendArt = flag.Bool("append", false, "merge results into an existing artifact at -out instead of replacing it")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
-		compare   = flag.String("compare", "", "compare -in against this baseline artifact and exit (nonzero on regression)")
-		in        = flag.String("in", "", "artifact to compare (default: -out)")
-		maxReg    = flag.Float64("max-regress", 0.25, "allowed normalized throughput regression before -compare fails")
+		mode        = flag.String("mode", "embedded", "benchmark mode: embedded, http, or both")
+		addr        = flag.String("addr", "", "drive an external acserverd at this address (http mode; default self-hosts one per engine)")
+		engines     = flag.String("engines", "online,index", "comma-separated engine kinds, 'planner' (cost-based routing), or 'all'")
+		scenarios   = flag.String("scenarios", "all", "comma-separated scenario names from the workload registry, or 'all' (have: "+strings.Join(workload.Names(), ", ")+")")
+		nodesCSV    = flag.String("nodes", "2000", "social graph size, or a comma list for a scaling sweep")
+		topology    = flag.String("topology", "osn", "topology family: "+strings.Join(generate.Kinds(), ", "))
+		communities = flag.Int("communities", 0, "planted community count (0 = per-family default)")
+		degree      = flag.Int("degree", 8, "average out-degree of the generated graph")
+		streamMin   = flag.Int("stream-min", 200_000, "node count at which embedded cells stream the topology into batch commits instead of materializing the graph")
+		resources   = flag.Int("resources", 48, "pre-shared resources per scenario")
+		workers     = flag.Int("workers", 8, "load-generating workers")
+		duration    = flag.Duration("duration", 3*time.Second, "measured window per scenario")
+		warmup      = flag.Duration("warmup", 500*time.Millisecond, "warmup before the measured window")
+		rate        = flag.Float64("rate", 0, "open-loop target ops/sec across all workers (0 = closed loop)")
+		ratesCSV    = flag.String("rates", "", "comma list of open-loop arrival rates to sweep (overrides -rate)")
+		batch       = flag.Int("batch", 16, "check-batch requesters per request")
+		zipf        = flag.Float64("zipf", 0, "requester/resource popularity skew exponent, must be > 1 (0 = workload default 1.2)")
+		shardsCSV   = flag.String("shards", "", "comma-separated shard counts; embedded mode routes each cell through an in-process shard router (http mode: labels the cells of an external acshardd)")
+		seed        = flag.Int64("seed", 1, "workload seed")
+		syncMode    = flag.String("sync", "interval", "self-hosted server WAL fsync policy: always, interval, never")
+		out         = flag.String("out", "BENCH_acbench.json", "artifact output path")
+		appendArt   = flag.Bool("append", false, "merge results into an existing artifact at -out instead of replacing it")
+		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+		compare     = flag.String("compare", "", "compare -in against this baseline artifact and exit (nonzero on regression)")
+		in          = flag.String("in", "", "artifact to compare (default: -out)")
+		maxReg      = flag.Float64("max-regress", 0.25, "allowed normalized throughput regression before -compare fails")
 	)
 	flag.Parse()
 
@@ -83,7 +98,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	mixes, err := parseScenarios(*scenarios, *batch)
+	scens, err := parseScenarios(*scenarios, *batch)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -92,6 +107,14 @@ func main() {
 		log.Fatal(err)
 	}
 	shardCounts, err := parseShards(*shardsCSV)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodeCounts, err := parseNodeCounts(*nodesCSV)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rates, err := parseRates(*ratesCSV, *rate)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -115,37 +138,60 @@ func main() {
 	log.Printf("calibration score %.1f Mops/s, %d CPUs", art.CalibrationScore, art.CPUs)
 
 	cfg := benchConfig{
-		nodes: *nodes, degree: *degree, resources: *resources,
+		degree: *degree, resources: *resources,
 		workers: *workers, duration: *duration, warmup: *warmup,
-		rate: *rate, zipfS: *zipf, seed: *seed, addr: *addr, syncOpt: syncOpt,
-		seeded: make(map[string]bool),
+		zipfS: *zipf, seed: *seed, addr: *addr, syncOpt: syncOpt,
+		streamMin: *streamMin,
+		seeded:    make(map[string]bool),
 	}
-	g := generate.OSN(generate.OSNConfig{Nodes: *nodes, AvgOutDegree: *degree, Seed: *seed})
-	specs := workload.Resources(g, *resources, *seed+1)
-	log.Printf("graph: %d users, %d relationships; %d resources", g.NumNodes(), g.NumEdges(), len(specs))
 
-	for _, m := range modes {
-		for _, kind := range kinds {
-			for _, mix := range mixes {
-				for _, sc := range shardCounts {
-					cellCfg := cfg
-					cellCfg.shards = sc
-					res, err := runScenario(m, g, kind, mix, specs, cellCfg)
-					if err != nil {
-						log.Fatalf("%s/%s/%s: %v", m, kind, mix.Name, err)
-					}
-					art.Scenarios = append(art.Scenarios, res)
-					label := res.Scenario
-					if res.Shards > 0 {
-						label = fmt.Sprintf("%s/s=%d", res.Scenario, res.Shards)
-					}
-					log.Printf("%-8s %-16s %-13s %9.0f ops/s  p50 %7.0fµs  p99 %7.0fµs  err %d  shed %d",
-						res.Mode, res.Engine, label, res.Throughput,
-						res.Latency.P50, res.Latency.P99, res.Errors, res.Shed)
-				}
+	for _, nodeCount := range nodeCounts {
+		top, err := generate.New(*topology,
+			generate.WithNodes(nodeCount), generate.WithDegree(*degree),
+			generate.WithCommunities(*communities), generate.WithSeed(*seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		env := cellEnv{top: top}
+		if nodeCount < *streamMin {
+			if env.g, err = generate.Build(top); err != nil {
+				log.Fatal(err)
 			}
-			if m == "http" && cfg.addr != "" {
-				break // an external daemon serves one engine; don't redrive it per kind
+			log.Printf("graph: %s, %d users, %d relationships",
+				top.Kind(), env.g.NumNodes(), env.g.NumEdges())
+		} else {
+			log.Printf("graph: %s, %d users (streamed — no materialization)", top.Kind(), nodeCount)
+		}
+		for _, m := range modes {
+			for _, kind := range kinds {
+				for _, sc := range scens {
+					for _, shardCount := range shardCounts {
+						for _, r := range rates {
+							cellCfg := cfg
+							cellCfg.nodes = nodeCount
+							cellCfg.shards = shardCount
+							cellCfg.rate = r
+							res, err := runScenario(m, env, kind, sc, cellCfg)
+							if err != nil {
+								log.Fatalf("%s/%s/%s: %v", m, engineLabel(kind), sc.Name, err)
+							}
+							art.Scenarios = append(art.Scenarios, res)
+							label := res.Scenario
+							if res.Shards > 0 {
+								label = fmt.Sprintf("%s/s=%d", res.Scenario, res.Shards)
+							}
+							if res.RateLimit > 0 {
+								label = fmt.Sprintf("%s@%g", label, res.RateLimit)
+							}
+							log.Printf("%-8s %-16s %-18s n=%-8d %9.0f ops/s  p50 %7.0fµs  p99 %7.0fµs  err %d  shed %d",
+								res.Mode, res.Engine, label, res.Nodes, res.Throughput,
+								res.Latency.P50, res.Latency.P99, res.Errors, res.Shed)
+						}
+					}
+				}
+				if m == "http" && cfg.addr != "" {
+					break // an external daemon serves one engine; don't redrive it per kind
+				}
 			}
 		}
 	}
@@ -177,55 +223,97 @@ type benchConfig struct {
 	// in-process shard router over that many embedded shard networks;
 	// in http mode it only labels the cell (the external daemon's
 	// topology is whatever it was started with).
-	shards  int
-	seed    int64
-	addr    string
-	syncOpt reachac.Option
+	shards int
+	// streamMin is the node count at which embedded cells switch to the
+	// streaming loader.
+	streamMin int
+	seed      int64
+	addr      string
+	syncOpt   reachac.Option
 	// seeded tracks external daemons this process already loaded the
 	// graph into, so later scenario cells skip the redundant wire-seeding.
 	seeded map[string]bool
 }
 
-// runScenario benchmarks one (mode, engine, mix) cell: build the target,
-// spin up per-worker deterministic generators, run the loadgen window,
-// and fold the counter deltas into a ScenarioResult.
-func runScenario(mode string, g *graph.Graph, kind reachac.EngineKind, mix workload.Mix, specs []workload.ResourceSpec, cfg benchConfig) (ScenarioResult, error) {
+// cellEnv is the per-node-count environment scenario cells share: the
+// topology, and — below the streaming threshold — its materialization.
+// A nil g means cells stream the topology themselves (embedded mode
+// only).
+type cellEnv struct {
+	top generate.Topology
+	g   *graph.Graph
+}
+
+// runScenario benchmarks one (mode, engine, scenario[, shards, rate])
+// cell: build the target, spin up per-worker deterministic generators,
+// run the loadgen window, and fold the counter deltas into a
+// ScenarioResult.
+func runScenario(mode string, env cellEnv, kind reachac.EngineKind, sc workload.Scenario, cfg benchConfig) (ScenarioResult, error) {
 	var (
-		t   target
-		err error
+		t              target
+		src            workload.Source
+		specs          []workload.ResourceSpec
+		nNodes, nEdges int
+		streamed       bool
+		err            error
 	)
-	switch mode {
-	case "embedded":
-		if cfg.shards > 0 {
-			t, err = newShardedTarget(g, kind, specs, cfg.workers, cfg.shards)
-		} else {
-			t, err = newEmbeddedTarget(g, kind, specs, cfg.workers)
+	if env.g == nil {
+		// Streamed cell: the graph is never materialized; workload
+		// construction samples a pinned engine snapshot instead.
+		if mode != "embedded" || cfg.shards > 0 {
+			return ScenarioResult{}, fmt.Errorf(
+				"%d nodes is at/above -stream-min: streamed cells support unsharded embedded mode only", env.top.Nodes())
 		}
-	case "http":
-		if cfg.addr != "" {
-			t, err = newExternalTarget(cfg.addr, g, specs, cfg.workers, cfg.seeded[cfg.addr])
-			if err == nil {
-				cfg.seeded[cfg.addr] = true
+		streamed = true
+		st, err := newStreamedCell(env.top, kind, sc, cfg)
+		if err != nil {
+			return ScenarioResult{}, err
+		}
+		t, src, specs = st.target, st.src, st.specs
+		nNodes, nEdges = st.nodes, st.edges
+		defer st.release()
+	} else {
+		src = env.g
+		specs = sc.Resources(env.g, cfg.resources, cfg.seed+1)
+		switch mode {
+		case "embedded":
+			if cfg.shards > 0 {
+				t, err = newShardedTarget(env.g, kind, specs, cfg.workers, cfg.shards)
+			} else {
+				t, err = newEmbeddedTarget(env.g, kind, specs, cfg.workers)
 			}
-		} else {
-			t, err = newSelfHostedTarget(g, kind, specs, cfg.workers, cfg.syncOpt)
+		case "http":
+			if cfg.addr != "" {
+				t, err = newExternalTarget(cfg.addr, env.g, specs, cfg.workers, cfg.seeded[cfg.addr])
+				if err == nil {
+					cfg.seeded[cfg.addr] = true
+				}
+			} else {
+				t, err = newSelfHostedTarget(env.g, kind, specs, cfg.workers, cfg.syncOpt)
+			}
+		default:
+			err = fmt.Errorf("unknown mode %q", mode)
 		}
-	default:
-		err = fmt.Errorf("unknown mode %q", mode)
-	}
-	if err != nil {
-		return ScenarioResult{}, err
+		if err != nil {
+			return ScenarioResult{}, err
+		}
+		nNodes, nEdges = env.g.NumNodes(), env.g.NumEdges()
 	}
 	defer t.close()
 
 	gens := make([]*workload.Generator, cfg.workers)
 	for w := range gens {
-		gens[w] = workload.NewGenerator(g, mix, workload.GenConfig{
+		gens[w] = workload.NewGenerator(src, sc.Mix, sc.GenConfig(workload.GenConfig{
 			Resources: specs,
 			ZipfS:     cfg.zipfS,
 			Worker:    w,
 			Workers:   cfg.workers,
-		}, cfg.seed+int64(w)*7919)
+		}), cfg.seed+int64(w)*7919)
+	}
+	if streamed {
+		// Generators are built; drop the snapshot pin before the run so
+		// publication advances cheaply under mutation.
+		t.(*streamedCellTarget).releaseView()
 	}
 	before, err := t.stats()
 	if err != nil {
@@ -253,10 +341,12 @@ func runScenario(mode string, g *graph.Graph, kind reachac.EngineKind, mix workl
 	sr := ScenarioResult{
 		Mode:        mode,
 		Engine:      engine,
-		Scenario:    mix.Name,
+		Scenario:    sc.Name,
+		Topology:    env.top.Kind(),
+		Streamed:    streamed,
 		Shards:      cfg.shards,
-		Nodes:       g.NumNodes(),
-		Edges:       g.NumEdges(),
+		Nodes:       nNodes,
+		Edges:       nEdges,
 		Resources:   len(specs),
 		Workers:     cfg.workers,
 		RateLimit:   cfg.rate,
@@ -302,12 +392,17 @@ func runCompare(baselinePath, currentPath string, maxRegress float64) int {
 }
 
 func printTable(a *Artifact) {
-	tbl := benchutil.NewTable("mode", "engine", "scenario", "ops/s", "p50", "p90", "p99", "p99.9", "err", "shed", "fsyncs")
+	tbl := benchutil.NewTable("mode", "engine", "scenario", "nodes", "rate", "ops/s", "p50", "p99", "p99.9", "err", "shed", "fsyncs")
 	us := func(v float64) string { return benchutil.Dur(time.Duration(v * 1e3)) }
 	for _, s := range a.Scenarios {
+		rateCol := "-"
+		if s.RateLimit > 0 {
+			rateCol = fmt.Sprintf("%g", s.RateLimit)
+		}
 		tbl.AddRow(s.Mode, s.Engine, s.Scenario,
+			fmt.Sprintf("%d", s.Nodes), rateCol,
 			fmt.Sprintf("%.0f", s.Throughput),
-			us(s.Latency.P50), us(s.Latency.P90), us(s.Latency.P99), us(s.Latency.P999),
+			us(s.Latency.P50), us(s.Latency.P99), us(s.Latency.P999),
 			fmt.Sprintf("%d", s.Errors), fmt.Sprintf("%d", s.Shed),
 			fmt.Sprintf("%d", s.Counters.WALFsyncs))
 	}
@@ -393,32 +488,30 @@ func engineByName(s string) (reachac.EngineKind, error) {
 	return 0, fmt.Errorf("unknown engine %q (have online, online-dfs, online-adaptive, closure, index, index-paper, planner)", s)
 }
 
-func parseScenarios(s string, batch int) ([]workload.Mix, error) {
-	var mixes []workload.Mix
+// parseScenarios resolves -scenarios against the workload registry,
+// applying the -batch override to scenarios that batch.
+func parseScenarios(s string, batch int) ([]workload.Scenario, error) {
+	var scens []workload.Scenario
 	if s == "all" {
-		mixes = workload.Mixes()
+		scens = workload.Scenarios()
 	} else {
 		for _, name := range strings.Split(s, ",") {
-			m, ok := workload.MixByName(strings.TrimSpace(name))
+			sc, ok := workload.Lookup(strings.TrimSpace(name))
 			if !ok {
-				var names []string
-				for _, k := range workload.Mixes() {
-					names = append(names, k.Name)
-				}
-				return nil, fmt.Errorf("unknown scenario %q (have %s)", name, strings.Join(names, ", "))
+				return nil, fmt.Errorf("unknown scenario %q (have %s)", name, strings.Join(workload.Names(), ", "))
 			}
-			mixes = append(mixes, m)
+			scens = append(scens, sc)
 		}
 	}
-	for i := range mixes {
-		if mixes[i].BatchSize > 0 && batch > 0 {
-			mixes[i].BatchSize = batch
+	for i := range scens {
+		if scens[i].Mix.BatchSize > 0 && batch > 0 {
+			scens[i].Mix.BatchSize = batch
 		}
 	}
-	if len(mixes) == 0 {
+	if len(scens) == 0 {
 		return nil, fmt.Errorf("-scenarios is empty")
 	}
-	return mixes, nil
+	return scens, nil
 }
 
 // parseShards parses the -shards comma list; empty means one unsharded
@@ -436,6 +529,39 @@ func parseShards(s string) ([]int, error) {
 		counts = append(counts, n)
 	}
 	return counts, nil
+}
+
+// parseNodeCounts parses the -nodes comma list for scaling sweeps.
+func parseNodeCounts(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("-nodes %q: counts must be integers >= 2", s)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("-nodes is empty")
+	}
+	return counts, nil
+}
+
+// parseRates parses the -rates sweep; empty falls back to the single
+// -rate value (0 = closed loop).
+func parseRates(s string, fallback float64) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return []float64{fallback}, nil
+	}
+	var rates []float64
+	for _, part := range strings.Split(s, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("-rates %q: arrival rates must be positive numbers", s)
+		}
+		rates = append(rates, r)
+	}
+	return rates, nil
 }
 
 func parseSync(s string) (reachac.Option, error) {

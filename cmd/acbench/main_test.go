@@ -141,31 +141,41 @@ func TestReadArtifactRejectsWrongSchema(t *testing.T) {
 	}
 }
 
-// TestRunScenarioEmbeddedSmoke runs one real (tiny) embedded scenario per
-// mix and sanity-checks the resulting cell, covering the end-to-end path
-// CI's bench job exercises.
+// testEnv materializes a tiny cell environment the way main does below
+// the streaming threshold.
+func testEnv(t *testing.T, nodes int) cellEnv {
+	t.Helper()
+	top := generate.MustNew("osn", generate.WithNodes(nodes), generate.WithSeed(3))
+	return cellEnv{top: top, g: generate.MustBuild(top)}
+}
+
+// TestRunScenarioEmbeddedSmoke runs one real (tiny) embedded cell per
+// registered scenario and sanity-checks the resulting cell, covering the
+// end-to-end path CI's bench job exercises.
 func TestRunScenarioEmbeddedSmoke(t *testing.T) {
-	g := generate.OSN(generate.OSNConfig{Nodes: 150, Seed: 3})
-	specs := workload.Resources(g, 8, 4)
+	env := testEnv(t, 150)
 	cfg := benchConfig{
 		nodes: 150, degree: 8, resources: 8, workers: 2,
 		duration: 150 * time.Millisecond, warmup: 30 * time.Millisecond, seed: 5,
 	}
-	for _, mix := range workload.Mixes() {
-		res, err := runScenario("embedded", g, reachac.Index, mix, specs, cfg)
+	for _, sc := range workload.Scenarios() {
+		res, err := runScenario("embedded", env, reachac.Index, sc, cfg)
 		if err != nil {
-			t.Fatalf("%s: %v", mix.Name, err)
+			t.Fatalf("%s: %v", sc.Name, err)
 		}
 		if res.Ops == 0 {
-			t.Fatalf("%s: no operations completed", mix.Name)
+			t.Fatalf("%s: no operations completed", sc.Name)
 		}
 		if res.Errors > 0 {
-			t.Fatalf("%s: %d operation errors against embedded target", mix.Name, res.Errors)
+			t.Fatalf("%s: %d operation errors against embedded target", sc.Name, res.Errors)
 		}
 		if res.Throughput <= 0 || res.Latency.P99 < res.Latency.P50 {
-			t.Fatalf("%s: implausible result %+v", mix.Name, res)
+			t.Fatalf("%s: implausible result %+v", sc.Name, res)
 		}
-		switch mix.Name {
+		if res.Topology != "osn" || res.Nodes != 150 || res.Streamed {
+			t.Fatalf("%s: cell identity wrong: %+v", sc.Name, res)
+		}
+		switch sc.Name {
 		case "check-batch":
 			if res.Counters.BatchChecks == 0 {
 				t.Fatalf("check-batch recorded no batch checks: %+v", res.Counters)
@@ -174,11 +184,74 @@ func TestRunScenarioEmbeddedSmoke(t *testing.T) {
 			if res.Counters.Audiences == 0 {
 				t.Fatalf("audience-scan recorded no audiences: %+v", res.Counters)
 			}
-		case "write-heavy", "churn":
+		case "write-heavy", "churn", "time-bounded":
 			if res.Counters.Mutations == 0 {
-				t.Fatalf("%s recorded no mutations: %+v", mix.Name, res.Counters)
+				t.Fatalf("%s recorded no mutations: %+v", sc.Name, res.Counters)
 			}
 		}
+	}
+}
+
+// TestRunScenarioStreamedSmoke forces the streaming path at tiny n (as if
+// -stream-min were crossed): the graph is never materialized, the
+// workload is built off a pinned snapshot, and the cell must match a
+// materialized run's shape. Also pins the streamed-mode restrictions.
+func TestRunScenarioStreamedSmoke(t *testing.T) {
+	top := generate.MustNew("ldbc", generate.WithNodes(400), generate.WithSeed(3))
+	env := cellEnv{top: top} // g == nil → streamed
+	cfg := benchConfig{
+		nodes: 400, degree: 8, resources: 8, workers: 2,
+		duration: 150 * time.Millisecond, warmup: 30 * time.Millisecond, seed: 5,
+		streamMin: 1,
+	}
+	sc, ok := workload.Lookup("read-heavy")
+	if !ok {
+		t.Fatal("missing read-heavy scenario")
+	}
+	res, err := runScenario("embedded", env, reachac.Online, sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 || res.Errors > 0 {
+		t.Fatalf("ops=%d errors=%d", res.Ops, res.Errors)
+	}
+	if !res.Streamed || res.Topology != "ldbc" || res.Nodes != 400 || res.Edges == 0 {
+		t.Fatalf("streamed cell identity wrong: %+v", res)
+	}
+	if _, err := runScenario("http", env, reachac.Online, sc, cfg); err == nil {
+		t.Fatal("streamed cell accepted http mode")
+	}
+	shardCfg := cfg
+	shardCfg.shards = 2
+	if _, err := runScenario("embedded", env, reachac.Online, sc, shardCfg); err == nil {
+		t.Fatal("streamed cell accepted sharding")
+	}
+}
+
+// TestRunScenarioOpenLoop: a rate-limited cell must record its arrival
+// rate in the result (the open-loop sweep key) and complete roughly
+// rate×duration operations, not a closed-loop flood.
+func TestRunScenarioOpenLoop(t *testing.T) {
+	env := testEnv(t, 150)
+	cfg := benchConfig{
+		nodes: 150, degree: 8, resources: 6, workers: 2,
+		duration: 300 * time.Millisecond, warmup: 30 * time.Millisecond, seed: 5,
+		rate: 200,
+	}
+	sc, _ := workload.Lookup("read-heavy")
+	res, err := runScenario("embedded", env, reachac.Online, sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RateLimit != 200 {
+		t.Fatalf("rate not recorded: %+v", res)
+	}
+	total := res.Ops + res.Errors + res.Shed
+	if total == 0 || total > 400 {
+		t.Fatalf("open loop at 200 ops/s for 300ms completed %d ops", total)
+	}
+	if !strings.Contains(res.key(), "/r=200") {
+		t.Fatalf("rate missing from cell key %q", res.key())
 	}
 }
 
@@ -186,14 +259,17 @@ func TestRunScenarioEmbeddedSmoke(t *testing.T) {
 // serving stack — real HTTP, durable WAL — and checks the serving-layer
 // counters landed.
 func TestRunScenarioHTTPSmoke(t *testing.T) {
-	g := generate.OSN(generate.OSNConfig{Nodes: 120, Seed: 3})
-	specs := workload.Resources(g, 6, 4)
+	env := testEnv(t, 120)
 	cfg := benchConfig{
 		nodes: 120, degree: 8, resources: 6, workers: 2,
 		duration: 200 * time.Millisecond, warmup: 30 * time.Millisecond, seed: 5,
 		syncOpt: reachac.WithSync(reachac.SyncNever),
 	}
-	res, err := runScenario("http", g, reachac.Online, mustMixT(t, "write-heavy"), specs, cfg)
+	sc, ok := workload.Lookup("write-heavy")
+	if !ok {
+		t.Fatal("missing write-heavy scenario")
+	}
+	res, err := runScenario("http", env, reachac.Online, sc, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,15 +279,6 @@ func TestRunScenarioHTTPSmoke(t *testing.T) {
 	if res.Counters.Mutations == 0 || res.Counters.WALAppends == 0 {
 		t.Fatalf("durable serving run recorded no WAL activity: %+v", res.Counters)
 	}
-}
-
-func mustMixT(t *testing.T, name string) workload.Mix {
-	t.Helper()
-	m, ok := workload.MixByName(name)
-	if !ok {
-		t.Fatalf("missing mix %q", name)
-	}
-	return m
 }
 
 func TestParseHelpers(t *testing.T) {
@@ -233,17 +300,71 @@ func TestParseHelpers(t *testing.T) {
 	if _, err := parseEngines("warp-drive"); err == nil {
 		t.Fatal("bad engine accepted")
 	}
-	if mixes, err := parseScenarios("all", 8); err != nil || len(mixes) != 6 {
-		t.Fatalf("all scenarios = %v, %v", mixes, err)
+	if scens, err := parseScenarios("all", 8); err != nil || len(scens) != len(workload.Names()) {
+		t.Fatalf("all scenarios = %v, %v", scens, err)
 	}
-	if mixes, err := parseScenarios("check-batch", 8); err != nil || mixes[0].BatchSize != 8 {
-		t.Fatalf("batch override failed: %v, %v", mixes, err)
+	if scens, err := parseScenarios("check-batch", 8); err != nil || scens[0].Mix.BatchSize != 8 {
+		t.Fatalf("batch override failed: %v, %v", scens, err)
+	}
+	if scens, err := parseScenarios("multi-tenant,delegation", 8); err != nil ||
+		len(scens) != 2 || scens[0].Name != "multi-tenant" || scens[1].Name != "delegation" {
+		t.Fatalf("named scenarios = %v, %v", scens, err)
 	}
 	if _, err := parseScenarios("nope", 8); err == nil {
 		t.Fatal("bad scenario accepted")
 	}
 	if _, err := parseSync("sometimes"); err == nil {
 		t.Fatal("bad sync accepted")
+	}
+}
+
+func TestParseNodeCountsAndRates(t *testing.T) {
+	got, err := parseNodeCounts("800, 10000,100000")
+	if err != nil || len(got) != 3 || got[0] != 800 || got[2] != 100000 {
+		t.Fatalf("parseNodeCounts sweep = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "1", "0", "-5", "many", "800,,200"} {
+		if _, err := parseNodeCounts(bad); err == nil {
+			t.Errorf("parseNodeCounts(%q) accepted", bad)
+		}
+	}
+	rates, err := parseRates("", 0)
+	if err != nil || len(rates) != 1 || rates[0] != 0 {
+		t.Fatalf("empty -rates = %v, %v; want the -rate fallback", rates, err)
+	}
+	rates, err = parseRates("", 1500)
+	if err != nil || len(rates) != 1 || rates[0] != 1500 {
+		t.Fatalf("fallback rate = %v, %v", rates, err)
+	}
+	rates, err = parseRates("2000, 10000,40000", 0)
+	if err != nil || len(rates) != 3 || rates[1] != 10000 {
+		t.Fatalf("parseRates sweep = %v, %v", rates, err)
+	}
+	for _, bad := range []string{"0", "-3", "fast", "100,,200"} {
+		if _, err := parseRates(bad, 0); err == nil {
+			t.Errorf("parseRates(%q) accepted", bad)
+		}
+	}
+}
+
+// TestCellKeyDimensions: topology, node count, shards and rate must all
+// be part of a cell's identity so sweeps don't collapse onto one key.
+func TestCellKeyDimensions(t *testing.T) {
+	base := cell("embedded", "online-bfs", "read-heavy", 1000)
+	keys := map[string]bool{base.key(): true}
+	for _, mut := range []func(*ScenarioResult){
+		func(s *ScenarioResult) { s.Topology = "ldbc" },
+		func(s *ScenarioResult) { s.Topology = "ldbc"; s.Nodes = 100000 },
+		func(s *ScenarioResult) { s.Nodes = 800 },
+		func(s *ScenarioResult) { s.Shards = 4 },
+		func(s *ScenarioResult) { s.RateLimit = 2000 },
+	} {
+		s := base
+		mut(&s)
+		if keys[s.key()] {
+			t.Fatalf("key %q collides after mutation: %+v", s.key(), s)
+		}
+		keys[s.key()] = true
 	}
 }
 

@@ -126,11 +126,17 @@ func (c Counters) delta(prev Counters) Counters {
 	}
 }
 
-// ScenarioResult is one benchmarked (mode, engine, scenario) cell.
+// ScenarioResult is one benchmarked
+// (mode, engine, scenario, topology, nodes[, shards][, rate]) cell.
 type ScenarioResult struct {
 	Mode     string `json:"mode"`
 	Engine   string `json:"engine"`
 	Scenario string `json:"scenario"`
+	// Topology is the generator family the cell's graph came from
+	// (osn, ldbc, ...); Streamed marks cells whose graph was streamed
+	// into batch commits instead of materialized (large node counts).
+	Topology string `json:"topology,omitempty"`
+	Streamed bool   `json:"streamed,omitempty"`
 	// Shards is the shard-router fan-out of a sharded cell (0 for the
 	// unsharded direct targets).
 	Shards      int            `json:"shards,omitempty"`
@@ -149,11 +155,24 @@ type ScenarioResult struct {
 	Counters    Counters       `json:"counters"`
 }
 
-// key identifies a scenario cell across artifacts.
+// key identifies a scenario cell across artifacts. Topology, node count
+// and open-loop rate are part of the identity, so one artifact can hold
+// a scaling sweep (same scenario at several sizes) and a
+// latency-under-load sweep (same cell at several arrival rates) side by
+// side and the regression gate compares like with like.
 func (s ScenarioResult) key() string {
 	k := s.Mode + "/" + s.Engine + "/" + s.Scenario
+	if s.Topology != "" {
+		k += "/t=" + s.Topology
+	}
+	if s.Nodes > 0 {
+		k += fmt.Sprintf("/n=%d", s.Nodes)
+	}
 	if s.Shards > 0 {
 		k += fmt.Sprintf("/shards=%d", s.Shards)
+	}
+	if s.RateLimit > 0 {
+		k += fmt.Sprintf("/r=%g", s.RateLimit)
 	}
 	return k
 }

@@ -3,18 +3,30 @@
 //
 // Usage:
 //
-//	gengraph -n 10000 [-model osn|er|ba|ws] [-seed 42] [-acyclic]
-//	         [-degree 8] [-out graph.json]
+//	gengraph -n 10000 [-model osn|ldbc|er|ba|ws] [-seed 42] [-degree 8]
+//	         [-communities K] [-intra 0.8] [-edges M] [-beta 0.1]
+//	         [-acyclic] [-attrs] [-out graph.json]
 //
 // The default model is the community-structured OSN generator used by the
-// experiments; er/ba/ws select Erdős–Rényi, Barabási–Albert and
-// Watts–Strogatz respectively.
+// experiments; ldbc selects the power-law LDBC-style family that scales
+// to millions of members, and er/ba/ws the classical random-graph
+// families.
+//
+// Generation is streamed: the topology is walked twice, once to count
+// records for the file header and once to write them, so memory stays
+// bounded regardless of graph size (use -model ldbc for large graphs —
+// the other families keep O(edges) generator state). Any write failure,
+// including a short final flush, exits nonzero with the partial file left
+// behind for inspection.
 package main
 
 import (
 	"flag"
+	"fmt"
+	"io"
 	"log"
 	"os"
+	"strings"
 
 	"reachac/internal/generate"
 	"reachac/internal/graph"
@@ -23,50 +35,109 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gengraph: ")
-	var (
-		n       = flag.Int("n", 1000, "number of members")
-		model   = flag.String("model", "osn", "graph model: osn, er, ba, ws")
-		seed    = flag.Int64("seed", 42, "random seed")
-		degree  = flag.Int("degree", 8, "average out-degree (er: total edges = n*degree)")
-		acyclic = flag.Bool("acyclic", false, "osn only: orient edges acyclically (follow/hierarchy shape)")
-		attrs   = flag.Bool("attrs", true, "osn only: attach age/city/gender attributes")
-		out     = flag.String("out", "", "output file (default stdout)")
-	)
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	labels := []string{"friend", "colleague", "parent", "follows"}
-	var g *graph.Graph
-	switch *model {
-	case "osn":
-		g = generate.OSN(generate.OSNConfig{
-			Nodes:        *n,
-			AvgOutDegree: *degree,
-			Seed:         *seed,
-			Acyclic:      *acyclic,
-			WithAttrs:    *attrs,
-		})
-	case "er":
-		g = generate.ErdosRenyi(*n, *n**degree, labels, *seed)
-	case "ba":
-		g = generate.BarabasiAlbert(*n, *degree, labels, *seed)
-	case "ws":
-		g = generate.WattsStrogatz(*n, *degree, 0.1, labels, *seed)
-	default:
-		log.Fatalf("unknown model %q (have osn, er, ba, ws)", *model)
+// run is the testable body: parses flags, builds the topology and
+// streams it to -out (or stdout). A non-nil return means a partial or
+// empty output and becomes a nonzero exit.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gengraph", flag.ContinueOnError)
+	var (
+		n           = fs.Int("n", 1000, "number of members")
+		model       = fs.String("model", "osn", "graph model: "+strings.Join(generate.Kinds(), ", "))
+		seed        = fs.Int64("seed", 42, "random seed")
+		degree      = fs.Int("degree", 8, "average out-degree (er: total edges = n*degree unless -edges)")
+		communities = fs.Int("communities", 0, "osn/ldbc: planted community count (0 = per-model default)")
+		intra       = fs.Float64("intra", 0, "osn/ldbc: intra-community edge probability (0 = default 0.8)")
+		edges       = fs.Int("edges", 0, "er: exact edge count (0 = n*degree)")
+		beta        = fs.Float64("beta", 0.1, "ws: rewiring probability")
+		acyclic     = fs.Bool("acyclic", false, "osn only: orient edges acyclically (follow/hierarchy shape)")
+		attrs       = fs.Bool("attrs", true, "osn/ldbc: attach age/city/gender attributes")
+		out         = fs.String("out", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
 
-	w := os.Stdout
+	opts := []generate.Option{
+		generate.WithNodes(*n), generate.WithSeed(*seed),
+		generate.WithDegree(*degree), generate.WithCommunities(*communities),
+		generate.WithIntraProb(*intra), generate.WithRewire(*beta),
+	}
+	switch *model {
+	case "er":
+		m := *edges
+		if m <= 0 {
+			m = *n * *degree
+		}
+		opts = append(opts, generate.WithEdges(m))
+	case "osn", "ldbc":
+		if *attrs {
+			opts = append(opts, generate.WithAttrs())
+		}
+		if *acyclic {
+			opts = append(opts, generate.WithAcyclic())
+		}
+	}
+	top, err := generate.New(*model, opts...)
+	if err != nil {
+		return err
+	}
+
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		defer f.Close()
 		w = f
+		defer func() {
+			// The explicit Close below is the checked one; this catches
+			// early-error paths only.
+			f.Close()
+		}()
 	}
-	if err := g.Write(w); err != nil {
-		log.Fatal(err)
+
+	nodes, edgeCount, err := emit(top, w)
+	if err != nil {
+		return err
 	}
-	log.Printf("wrote %d members, %d relationships, %d types",
-		g.NumNodes(), g.NumEdges(), g.NumLabels())
+	if f, ok := w.(*os.File); ok && *out != "" {
+		// A buffered kernel write can still fail at close; a partial file
+		// must not exit 0.
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("closing %s: %w", *out, err)
+		}
+	}
+	log.Printf("wrote %d members, %d relationships (model %s, seed %d)",
+		nodes, edgeCount, *model, *seed)
+	return nil
+}
+
+// emit streams the topology to w in the graph file format: one counting
+// pass for the header (streams are deterministic, so the second pass
+// sees identical records), then one writing pass. Nothing graph-sized is
+// ever held in memory.
+func emit(top generate.Topology, w io.Writer) (nodes, edges int, err error) {
+	nodes, edges, err = generate.Count(top)
+	if err != nil {
+		return 0, 0, err
+	}
+	sw := graph.NewStreamWriter(w, nodes, edges)
+	err = top.Stream(func(op generate.Op) error {
+		if op.Kind == generate.OpNode {
+			return sw.Node(op.Name, op.Attrs)
+		}
+		return sw.Edge(op.From, op.To, op.Label, 0)
+	})
+	if err != nil {
+		return nodes, edges, err
+	}
+	if err := sw.Close(); err != nil {
+		return nodes, edges, err
+	}
+	return nodes, edges, nil
 }

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"reachac/internal/generate"
+	"reachac/internal/graph"
+)
+
+// TestEmitRoundTrip: the two-pass streamed file must read back as
+// exactly the graph a materialized Build produces, for every model.
+func TestEmitRoundTrip(t *testing.T) {
+	tops := map[string]generate.Topology{
+		"osn":  generate.MustNew("osn", generate.WithNodes(200), generate.WithSeed(4), generate.WithAttrs()),
+		"ldbc": generate.MustNew("ldbc", generate.WithNodes(200), generate.WithSeed(4)),
+		"er":   generate.MustNew("er", generate.WithNodes(80), generate.WithEdges(240), generate.WithSeed(4)),
+	}
+	for model, top := range tops {
+		var buf bytes.Buffer
+		nodes, edges, err := emit(top, &buf)
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		back, err := graph.Read(&buf)
+		if err != nil {
+			t.Fatalf("%s: reading back: %v", model, err)
+		}
+		want := generate.MustBuild(top)
+		if back.NumNodes() != nodes || back.NumEdges() != edges {
+			t.Fatalf("%s: read (%d, %d), emitted (%d, %d)",
+				model, back.NumNodes(), back.NumEdges(), nodes, edges)
+		}
+		if back.NumNodes() != want.NumNodes() || back.NumEdges() != want.NumEdges() {
+			t.Fatalf("%s: streamed file != built graph", model)
+		}
+		mismatch := false
+		want.Edges(func(e graph.Edge) bool {
+			if !back.HasEdge(e.From, e.To, want.LabelName(e.Label)) {
+				mismatch = true
+				return false
+			}
+			return true
+		})
+		if mismatch {
+			t.Fatalf("%s: edge sets differ", model)
+		}
+	}
+}
+
+// failAfter fails every write past a byte budget — a disk-full stand-in.
+type failAfter struct {
+	budget int
+}
+
+func (w *failAfter) Write(p []byte) (int, error) {
+	if w.budget <= 0 {
+		return 0, errors.New("disk full")
+	}
+	if len(p) > w.budget {
+		n := w.budget
+		w.budget = 0
+		return n, errors.New("disk full")
+	}
+	w.budget -= len(p)
+	return len(p), nil
+}
+
+// TestEmitPropagatesWriteFailure: a mid-stream write error must surface
+// (the nonzero-exit contract), not vanish into a deferred close.
+func TestEmitPropagatesWriteFailure(t *testing.T) {
+	top := generate.MustNew("ldbc", generate.WithNodes(500), generate.WithSeed(1))
+	_, _, err := emit(top, &failAfter{budget: 2048})
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("partial write not surfaced: %v", err)
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.json")
+	err := run([]string{"-n", "150", "-model", "ldbc", "-seed", "9", "-out", out}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := graph.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 150 || g.NumEdges() == 0 {
+		t.Fatalf("read (%d, %d)", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestRunRejectsBadModel(t *testing.T) {
+	if err := run([]string{"-n", "10", "-model", "warp"}, io.Discard); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if err := run([]string{"-n", "10", "-model", "ldbc", "-acyclic"}, io.Discard); err == nil {
+		t.Fatal("ldbc -acyclic accepted")
+	}
+}

@@ -1,18 +1,18 @@
-// Package generate builds seeded synthetic social graphs for the evaluation
-// the paper defers to future work (§5: "real and large representative
-// synthetic datasets"). Three classical random-graph families are provided
-// (Erdős–Rényi, Barabási–Albert preferential attachment, Watts–Strogatz
-// small world) plus an OSN generator with community structure, typed
-// relationships and user attributes, which is what the E-series experiments
-// use. All generators are deterministic for a given seed.
 package generate
 
 import (
 	"fmt"
-	"math/rand"
 
 	"reachac/internal/graph"
 )
+
+// This file is the deprecation shim over the streaming Topology API (see
+// doc.go, topology.go, options.go). The original package surface —
+// positional-argument constructors returning a fully materialized
+// *graph.Graph — is preserved verbatim for existing call sites; each
+// constructor now builds the equivalent Topology and materializes it.
+// The osn family reproduces the legacy draw sequence exactly, so shimmed
+// output is byte-identical to pre-redesign output for every seed.
 
 // UserName formats the i-th generated member's handle ("u000042") — the
 // naming every generator in this package assigns in node-ID order, which
@@ -20,91 +20,45 @@ import (
 // to map node IDs back to members.
 func UserName(i int) string { return fmt.Sprintf("u%06d", i) }
 
-// userName formats the i-th member's handle.
-func userName(i int) string { return UserName(i) }
-
-// addNodes inserts n members with no attributes.
-func addNodes(g *graph.Graph, n int) {
-	for i := 0; i < n; i++ {
-		g.MustAddNode(userName(i), nil)
-	}
-}
-
 // ErdosRenyi returns a directed G(n, m) graph: m distinct directed edges
 // drawn uniformly, each labeled uniformly from labels.
+//
+// Deprecated: use New("er", WithNodes(n), WithEdges(m), ...) and Build,
+// or stream the Topology directly.
 func ErdosRenyi(n, m int, labels []string, seed int64) *graph.Graph {
-	rng := rand.New(rand.NewSource(seed))
-	g := graph.New()
-	addNodes(g, n)
-	for added := 0; added < m; {
-		u := graph.NodeID(rng.Intn(n))
-		v := graph.NodeID(rng.Intn(n))
-		if u == v {
-			continue
-		}
-		if _, err := g.AddEdge(u, v, labels[rng.Intn(len(labels))]); err == nil {
-			added++
-		}
-	}
-	return g
+	return MustBuild(MustNew("er",
+		WithNodes(n), WithEdges(m), WithLabels(labels...), WithSeed(seed)))
 }
 
 // BarabasiAlbert grows a preferential-attachment graph: each new vertex
 // attaches k directed edges to existing vertices chosen proportionally to
 // their current degree, each labeled uniformly from labels.
+//
+// Deprecated: use New("ba", WithNodes(n), WithDegree(k), ...) and Build,
+// or stream the Topology directly.
 func BarabasiAlbert(n, k int, labels []string, seed int64) *graph.Graph {
 	if k < 1 {
 		k = 1
 	}
-	rng := rand.New(rand.NewSource(seed))
-	g := graph.New()
-	addNodes(g, n)
-	// targets repeats each vertex once per incident edge end, implementing
-	// degree-proportional sampling.
-	targets := []graph.NodeID{0}
-	for v := 1; v < n; v++ {
-		links := k
-		if v < k {
-			links = v
-		}
-		for e := 0; e < links; e++ {
-			u := targets[rng.Intn(len(targets))]
-			if u == graph.NodeID(v) {
-				continue
-			}
-			if _, err := g.AddEdge(graph.NodeID(v), u, labels[rng.Intn(len(labels))]); err == nil {
-				targets = append(targets, u)
-			}
-		}
-		targets = append(targets, graph.NodeID(v))
-	}
-	return g
+	return MustBuild(MustNew("ba",
+		WithNodes(n), WithDegree(k), WithLabels(labels...), WithSeed(seed)))
 }
 
 // WattsStrogatz builds a small-world ring lattice: each vertex connects to
 // its k nearest clockwise neighbours, and each edge is rewired to a uniform
 // target with probability beta.
+//
+// Deprecated: use New("ws", WithNodes(n), WithDegree(k), WithRewire(beta),
+// ...) and Build, or stream the Topology directly.
 func WattsStrogatz(n, k int, beta float64, labels []string, seed int64) *graph.Graph {
-	rng := rand.New(rand.NewSource(seed))
-	g := graph.New()
-	addNodes(g, n)
-	for v := 0; v < n; v++ {
-		for j := 1; j <= k; j++ {
-			t := graph.NodeID((v + j) % n)
-			if rng.Float64() < beta {
-				t = graph.NodeID(rng.Intn(n))
-			}
-			if t == graph.NodeID(v) {
-				continue
-			}
-			_, _ = g.AddEdge(graph.NodeID(v), t, labels[rng.Intn(len(labels))])
-		}
-	}
-	return g
+	return MustBuild(MustNew("ws",
+		WithNodes(n), WithDegree(k), WithRewire(beta), WithLabels(labels...), WithSeed(seed)))
 }
 
 // OSNConfig parameterizes the community-structured social network
 // generator.
+//
+// Deprecated: use New("osn", ...) with functional options instead.
 type OSNConfig struct {
 	// Nodes is the member count.
 	Nodes int
@@ -133,115 +87,33 @@ type OSNConfig struct {
 	Seed int64
 }
 
-func (c *OSNConfig) defaults() {
-	if c.Communities <= 0 {
-		c.Communities = c.Nodes/500 + 4
+// options translates the legacy config into the functional-options form;
+// zero values pass through and New resolves the same defaults the legacy
+// defaults() method did.
+func (c OSNConfig) options() []Option {
+	opts := []Option{
+		WithNodes(c.Nodes), WithSeed(c.Seed),
+		WithCommunities(c.Communities), WithDegree(c.AvgOutDegree),
+		WithIntraProb(c.IntraProb), WithReciprocity(c.Reciprocity),
 	}
-	if c.AvgOutDegree <= 0 {
-		c.AvgOutDegree = 8
+	if len(c.LabelWeights) > 0 {
+		opts = append(opts, WithLabelWeights(c.LabelWeights))
 	}
-	if c.IntraProb <= 0 {
-		c.IntraProb = 0.8
+	if c.WithAttrs {
+		opts = append(opts, WithAttrs())
 	}
-	if len(c.LabelWeights) == 0 {
-		c.LabelWeights = map[string]float64{
-			"friend": 0.65, "colleague": 0.2, "parent": 0.05, "follows": 0.1,
-		}
+	if c.Acyclic {
+		opts = append(opts, WithAcyclic())
 	}
-	if c.Reciprocity <= 0 {
-		c.Reciprocity = 0.5
-	}
+	return opts
 }
 
-var cities = []string{"paris", "berlin", "tunis", "london", "rome", "madrid", "lyon", "oslo"}
-
-// OSN generates a community-structured social graph with typed edges. Edges
-// are preferential inside each community (hubs emerge), uniform across
-// communities.
+// OSN generates a community-structured social graph with typed edges.
+// Edges are preferential inside each community (hubs emerge), uniform
+// across communities.
+//
+// Deprecated: use New("osn", WithNodes(n), ...) and Build, or stream the
+// Topology directly.
 func OSN(cfg OSNConfig) *graph.Graph {
-	cfg.defaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	g := graph.New()
-
-	// Stable label order for weighted sampling.
-	labels := make([]string, 0, len(cfg.LabelWeights))
-	for l := range cfg.LabelWeights {
-		labels = append(labels, l)
-	}
-	sortStrings(labels)
-	weights := make([]float64, len(labels))
-	total := 0.0
-	for i, l := range labels {
-		total += cfg.LabelWeights[l]
-		weights[i] = total
-	}
-	pickLabel := func() string {
-		x := rng.Float64() * total
-		for i, w := range weights {
-			if x < w {
-				return labels[i]
-			}
-		}
-		return labels[len(labels)-1]
-	}
-
-	community := make([]int, cfg.Nodes)
-	members := make([][]graph.NodeID, cfg.Communities)
-	for i := 0; i < cfg.Nodes; i++ {
-		c := i % cfg.Communities
-		community[i] = c
-		var attrs graph.Attrs
-		if cfg.WithAttrs {
-			attrs = graph.Attrs{
-				"age":    graph.Int(13 + rng.Intn(68)),
-				"city":   graph.String(cities[rng.Intn(len(cities))]),
-				"gender": graph.String([]string{"female", "male"}[rng.Intn(2)]),
-			}
-		}
-		id := g.MustAddNode(userName(i), attrs)
-		members[c] = append(members[c], id)
-	}
-
-	// Per-community preferential target pools.
-	pools := make([][]graph.NodeID, cfg.Communities)
-	for c := range pools {
-		pools[c] = append([]graph.NodeID(nil), members[c]...)
-	}
-
-	for i := 0; i < cfg.Nodes; i++ {
-		src := graph.NodeID(i)
-		c := community[i]
-		for e := 0; e < cfg.AvgOutDegree; e++ {
-			var dst graph.NodeID
-			if rng.Float64() < cfg.IntraProb {
-				dst = pools[c][rng.Intn(len(pools[c]))]
-			} else {
-				dst = graph.NodeID(rng.Intn(cfg.Nodes))
-			}
-			if dst == src {
-				continue
-			}
-			from, to := src, dst
-			if cfg.Acyclic && from < to {
-				from, to = to, from
-			}
-			label := pickLabel()
-			if _, err := g.AddEdge(from, to, label); err != nil {
-				continue
-			}
-			pools[community[dst]] = append(pools[community[dst]], dst)
-			if !cfg.Acyclic && label == "friend" && rng.Float64() < cfg.Reciprocity {
-				_, _ = g.AddEdge(dst, src, label)
-			}
-		}
-	}
-	return g
-}
-
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j-1] > s[j]; j-- {
-			s[j-1], s[j] = s[j], s[j-1]
-		}
-	}
+	return MustBuild(MustNew("osn", cfg.options()...))
 }

@@ -266,6 +266,14 @@ func (g *Graph) OutEdges(n NodeID, fn func(Edge) bool) {
 	}
 }
 
+// Neighbors calls fn once per live outgoing edge of n with the target
+// node, in insertion order (a target reachable over several labels is
+// visited once per label). fn returning false stops the iteration. It is
+// the adjacency view workload.Source asks of a graph-shaped value.
+func (g *Graph) Neighbors(n NodeID, fn func(NodeID) bool) {
+	g.OutEdges(n, func(e Edge) bool { return fn(e.To) })
+}
+
 // InEdges calls fn for every live incoming edge of n, in insertion order.
 func (g *Graph) InEdges(n NodeID, fn func(Edge) bool) {
 	for _, eid := range g.in[n] {

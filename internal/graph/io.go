@@ -83,34 +83,110 @@ func (v *Value) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
+// StreamWriter emits the graph file format record by record, so callers
+// that produce nodes and edges incrementally (cmd/gengraph streaming a
+// Topology) never hold a whole graph in memory. The format's header
+// carries exact counts, so they must be known up front; Close validates
+// that exactly that many records were written and that the underlying
+// writer accepted every byte — a StreamWriter that Closes without error
+// has produced a complete, loadable file.
+type StreamWriter struct {
+	bw         *bufio.Writer
+	enc        *json.Encoder
+	wantNodes  int
+	wantEdges  int
+	nodes      int
+	edges      int
+	firstError error
+}
+
+// NewStreamWriter starts a graph file on w declaring the given node and
+// edge counts in the header.
+func NewStreamWriter(w io.Writer, nodes, edges int) *StreamWriter {
+	bw := bufio.NewWriter(w)
+	sw := &StreamWriter{bw: bw, enc: json.NewEncoder(bw), wantNodes: nodes, wantEdges: edges}
+	sw.firstError = sw.enc.Encode(ioHeader{Magic: ioMagic, Nodes: nodes, Edges: edges})
+	return sw
+}
+
+func (sw *StreamWriter) fail(err error) error {
+	if sw.firstError == nil {
+		sw.firstError = err
+	}
+	return sw.firstError
+}
+
+// Node writes the next node record. All nodes must be written, in node-ID
+// order, before the first edge.
+func (sw *StreamWriter) Node(name string, attrs Attrs) error {
+	if sw.firstError != nil {
+		return sw.firstError
+	}
+	if sw.edges > 0 {
+		return sw.fail(fmt.Errorf("graph: node %q written after edges", name))
+	}
+	if sw.nodes >= sw.wantNodes {
+		return sw.fail(fmt.Errorf("graph: more than the declared %d nodes", sw.wantNodes))
+	}
+	rec := ioNode{Name: name}
+	if len(attrs) > 0 {
+		rec.Attrs = make(map[string]ioValue, len(attrs))
+		for k, v := range attrs {
+			rec.Attrs[k] = encodeValue(v)
+		}
+	}
+	if err := sw.enc.Encode(rec); err != nil {
+		return sw.fail(err)
+	}
+	sw.nodes++
+	return nil
+}
+
+// Edge writes the next edge record.
+func (sw *StreamWriter) Edge(from, to NodeID, label string, weight float64) error {
+	if sw.firstError != nil {
+		return sw.firstError
+	}
+	if sw.nodes != sw.wantNodes {
+		return sw.fail(fmt.Errorf("graph: edge written after %d of %d nodes", sw.nodes, sw.wantNodes))
+	}
+	if sw.edges >= sw.wantEdges {
+		return sw.fail(fmt.Errorf("graph: more than the declared %d edges", sw.wantEdges))
+	}
+	if err := sw.enc.Encode(ioEdge{From: uint32(from), To: uint32(to), Label: label, Weight: weight}); err != nil {
+		return sw.fail(err)
+	}
+	sw.edges++
+	return nil
+}
+
+// Close flushes buffered output and fails if the stream is incomplete —
+// fewer records than the header declared, or any earlier write error.
+func (sw *StreamWriter) Close() error {
+	if sw.firstError != nil {
+		return sw.firstError
+	}
+	if sw.nodes != sw.wantNodes || sw.edges != sw.wantEdges {
+		return sw.fail(fmt.Errorf("graph: incomplete stream: %d/%d nodes, %d/%d edges",
+			sw.nodes, sw.wantNodes, sw.edges, sw.wantEdges))
+	}
+	return sw.fail(sw.bw.Flush())
+}
+
 // Write serializes g to w. Tombstoned edges are dropped.
 func (g *Graph) Write(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	if err := enc.Encode(ioHeader{Magic: ioMagic, Nodes: g.NumNodes(), Edges: g.NumEdges()}); err != nil {
-		return err
-	}
+	sw := NewStreamWriter(w, g.NumNodes(), g.NumEdges())
 	for _, n := range g.nodes {
-		rec := ioNode{Name: n.Name}
-		if len(n.Attrs) > 0 {
-			rec.Attrs = make(map[string]ioValue, len(n.Attrs))
-			for k, v := range n.Attrs {
-				rec.Attrs[k] = encodeValue(v)
-			}
-		}
-		if err := enc.Encode(rec); err != nil {
+		if err := sw.Node(n.Name, n.Attrs); err != nil {
 			return err
 		}
 	}
-	var err error
+	ok := true
 	g.Edges(func(e Edge) bool {
-		err = enc.Encode(ioEdge{From: uint32(e.From), To: uint32(e.To), Label: g.LabelName(e.Label), Weight: e.Weight})
-		return err == nil
+		ok = sw.Edge(e.From, e.To, g.LabelName(e.Label), e.Weight) == nil
+		return ok
 	})
-	if err != nil {
-		return err
-	}
-	return bw.Flush()
+	return sw.Close()
 }
 
 // Read deserializes a graph written by Write.

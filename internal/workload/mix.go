@@ -78,34 +78,26 @@ type Mix struct {
 	BatchSize int
 }
 
-// Mixes returns the named scenario mixes acbench ships: the read/write
-// ratios bracket a social network's serving traffic, check-batch models
-// feed assembly, audience-scan models "who can see this?" introspection,
-// and churn models share/revoke policy cycling.
+// Mixes returns the mixes of every registered scenario, in registration
+// order.
+//
+// Deprecated: use Scenarios — a scenario carries its catalog and tenant
+// partitioning alongside the mix.
 func Mixes() []Mix {
-	return []Mix{
-		{Name: "read-heavy", Check: 0.95, Mutate: 0.05},
-		{Name: "write-heavy", Check: 0.50, Mutate: 0.50},
-		{Name: "check-batch", CheckBatch: 1.0, BatchSize: 16},
-		{Name: "audience-scan", Audience: 0.75, Check: 0.25},
-		{Name: "churn", Check: 0.50, Churn: 0.50},
-		// mixed-shape interleaves cheap star-shaped point checks with deep
-		// multi-step audience enumerations under relationship churn — the
-		// regime where no single static engine wins and per-query routing
-		// (audience-cache probes for repeat checks, endpoint selection for
-		// the rest) should: planner wins and regressions both land here.
-		{Name: "mixed-shape", Check: 0.55, CheckBatch: 0.10, Audience: 0.20, Mutate: 0.10, Churn: 0.05},
+	scs := Scenarios()
+	out := make([]Mix, len(scs))
+	for i, sc := range scs {
+		out[i] = sc.Mix
 	}
+	return out
 }
 
-// MixByName resolves one of the named mixes.
+// MixByName resolves a registered scenario's mix.
+//
+// Deprecated: use Lookup.
 func MixByName(name string) (Mix, bool) {
-	for _, m := range Mixes() {
-		if m.Name == name {
-			return m, true
-		}
-	}
-	return Mix{}, false
+	sc, ok := Lookup(name)
+	return sc.Mix, ok
 }
 
 // ResourceSpec is one pre-shared resource a scenario runs against: its
@@ -119,23 +111,11 @@ type ResourceSpec struct {
 // Resources picks n resources owned by members with outgoing edges (so
 // their policies can match someone), rotating the policy shapes of
 // DefaultCatalog. Deterministic for a given seed.
-func Resources(g *graph.Graph, n int, seed int64) []ResourceSpec {
-	rng := rand.New(rand.NewSource(seed))
-	catalog := DefaultCatalog()
-	nodes := g.NumNodes()
-	specs := make([]ResourceSpec, 0, n)
-	for i := 0; i < n; i++ {
-		owner := graph.NodeID(rng.Intn(nodes))
-		for try := 0; g.OutDegree(owner) == 0 && try < 64; try++ {
-			owner = graph.NodeID(rng.Intn(nodes))
-		}
-		specs = append(specs, ResourceSpec{
-			Name:  fmt.Sprintf("res%05d", i),
-			Owner: owner,
-			Paths: []string{catalog[i%len(catalog)].Path.String()},
-		})
-	}
-	return specs
+//
+// Deprecated: use Scenario.Resources, which also honors the scenario's
+// own catalog and tenant partitioning.
+func Resources(src Source, n int, seed int64) []ResourceSpec {
+	return Scenario{Catalog: DefaultCatalog()}.Resources(src, n, seed)
 }
 
 // GenConfig parameterizes a Generator beyond its mix.
@@ -169,6 +149,11 @@ type GenConfig struct {
 	RelTypes []string
 	// HitSetSize bounds the per-resource hit sample (default 32).
 	HitSetSize int
+	// Catalog is the policy-shape catalog churn shares rotate through
+	// (default DefaultCatalog); scenario-driven drivers pass their
+	// scenario's catalog so churned-in rules match the scenario's shape
+	// family.
+	Catalog []QuerySpec
 }
 
 func (c *GenConfig) defaults() {
@@ -198,6 +183,9 @@ func (c *GenConfig) defaults() {
 	}
 	if c.HitSetSize <= 0 {
 		c.HitSetSize = 32
+	}
+	if len(c.Catalog) == 0 {
+		c.Catalog = DefaultCatalog()
 	}
 }
 
@@ -244,9 +232,10 @@ type Generator struct {
 	catalog   []QuerySpec
 }
 
-// NewGenerator builds a generator over g for one worker of a scenario.
-// It must be called before the benchmark starts mutating g.
-func NewGenerator(g *graph.Graph, mix Mix, cfg GenConfig, seed int64) *Generator {
+// NewGenerator builds a generator over src for one worker of a scenario.
+// It must be called before the benchmark starts mutating the underlying
+// graph (or, for a View-backed Source, over a pinned snapshot).
+func NewGenerator(src Source, mix Mix, cfg GenConfig, seed int64) *Generator {
 	cfg.defaults()
 	if len(cfg.Resources) == 0 {
 		panic("workload: NewGenerator needs at least one ResourceSpec")
@@ -255,14 +244,14 @@ func NewGenerator(g *graph.Graph, mix Mix, cfg GenConfig, seed int64) *Generator
 		mix.BatchSize = 16
 	}
 	rng := rand.New(rand.NewSource(seed))
-	nodes := g.NumNodes()
+	nodes := src.NumNodes()
 	gen := &Generator{
 		mix:     mix,
 		cfg:     cfg,
 		rng:     rng,
 		nodes:   nodes,
 		liveSet: make(map[edgePair]struct{}),
-		catalog: DefaultCatalog(),
+		catalog: cfg.Catalog,
 	}
 	if nodes > 1 {
 		gen.zipfNodes = rand.NewZipf(rng, cfg.ZipfS, cfg.ZipfV, uint64(nodes-1))
@@ -278,15 +267,15 @@ func NewGenerator(g *graph.Graph, mix Mix, cfg GenConfig, seed int64) *Generator
 	if total <= 0 {
 		gen.cum = [5]float64{1, 1, 1, 1, 1} // degenerate mix: everything is a check
 	}
-	gen.precomputeHits(g)
-	gen.precomputePool(g)
+	gen.precomputeHits(src)
+	gen.precomputePool(src)
 	return gen
 }
 
 // precomputeHits samples, per resource, requesters a bounded random walk
 // reaches from the owner — the population likely to satisfy reachability
 // policies (the same technique as HitPairs, anchored per owner).
-func (gen *Generator) precomputeHits(g *graph.Graph) {
+func (gen *Generator) precomputeHits(src Source) {
 	gen.hits = make([][]graph.NodeID, len(gen.cfg.Resources))
 	for r, spec := range gen.cfg.Resources {
 		seen := make(map[graph.NodeID]struct{})
@@ -296,11 +285,7 @@ func (gen *Generator) precomputeHits(g *graph.Graph) {
 			steps := 1 + gen.rng.Intn(gen.cfg.MaxWalk)
 			ok := true
 			for s := 0; s < steps; s++ {
-				var outs []graph.NodeID
-				g.OutEdges(cur, func(e graph.Edge) bool {
-					outs = append(outs, e.To)
-					return true
-				})
+				outs := outTargets(src, cur)
 				if len(outs) == 0 {
 					ok = false
 					break
@@ -323,7 +308,7 @@ func (gen *Generator) precomputeHits(g *graph.Graph) {
 // precomputePool collects candidate mutation edges from this worker's
 // partition that are absent from the initial graph, so toggling them never
 // hits a duplicate.
-func (gen *Generator) precomputePool(g *graph.Graph) {
+func (gen *Generator) precomputePool(src Source) {
 	if gen.nodes < 2 {
 		return
 	}
@@ -340,7 +325,7 @@ func (gen *Generator) precomputePool(g *graph.Graph) {
 		}
 		label := gen.cfg.RelTypes[len(gen.pool)%len(gen.cfg.RelTypes)]
 		p := edgePair{from, to, label}
-		if _, dup := seen[p]; dup || g.HasEdge(from, to, label) {
+		if _, dup := seen[p]; dup || src.HasEdge(from, to, label) {
 			continue
 		}
 		seen[p] = struct{}{}

@@ -1,0 +1,32 @@
+package workload
+
+import "reachac/internal/graph"
+
+// Source is the read-only adjacency view workload construction consumes:
+// enough to sample random walks, weed out degree-zero owners and build
+// duplicate-free mutation pools. *graph.Graph satisfies it as-is, so
+// call sites holding a materialized graph pass it directly; streamed
+// benchmark cells that never materialize a graph adapt a pinned
+// reachac.View instead (cmd/acbench).
+type Source interface {
+	// NumNodes is the member count; workload node IDs are dense [0, n).
+	NumNodes() int
+	// OutDegree returns the number of outgoing relationships of n.
+	OutDegree(n graph.NodeID) int
+	// Neighbors visits the targets of n's outgoing relationships, one
+	// call per (target, type) pair; fn returning false stops the walk.
+	Neighbors(n graph.NodeID, fn func(graph.NodeID) bool)
+	// HasEdge reports whether the typed relationship from→to exists.
+	HasEdge(from, to graph.NodeID, relType string) bool
+}
+
+// outTargets collects n's neighbor list — the random-walk step both hit
+// samplers take.
+func outTargets(src Source, n graph.NodeID) []graph.NodeID {
+	var outs []graph.NodeID
+	src.Neighbors(n, func(to graph.NodeID) bool {
+		outs = append(outs, to)
+		return true
+	})
+	return outs
+}

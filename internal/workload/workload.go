@@ -39,10 +39,10 @@ type Pair struct {
 // HitPairs samples n pairs where the requester was reached from the owner
 // by a random forward walk of 1..maxRadius edges, so that typical policies
 // have a good chance of matching (the E2 "hit" workload).
-func HitPairs(g *graph.Graph, n, maxRadius int, seed int64) []Pair {
+func HitPairs(src Source, n, maxRadius int, seed int64) []Pair {
 	rng := rand.New(rand.NewSource(seed))
 	pairs := make([]Pair, 0, n)
-	nodes := g.NumNodes()
+	nodes := src.NumNodes()
 	if nodes == 0 {
 		return pairs
 	}
@@ -52,11 +52,7 @@ func HitPairs(g *graph.Graph, n, maxRadius int, seed int64) []Pair {
 		steps := 1 + rng.Intn(maxRadius)
 		ok := true
 		for s := 0; s < steps; s++ {
-			var outs []graph.NodeID
-			g.OutEdges(cur, func(e graph.Edge) bool {
-				outs = append(outs, e.To)
-				return true
-			})
+			outs := outTargets(src, cur)
 			if len(outs) == 0 {
 				ok = false
 				break
@@ -73,10 +69,10 @@ func HitPairs(g *graph.Graph, n, maxRadius int, seed int64) []Pair {
 
 // RandomPairs samples n uniform owner/requester pairs; on sparse labeled
 // graphs most such pairs fail selective policies (the E3 "miss" workload).
-func RandomPairs(g *graph.Graph, n int, seed int64) []Pair {
+func RandomPairs(src Source, n int, seed int64) []Pair {
 	rng := rand.New(rand.NewSource(seed))
 	pairs := make([]Pair, 0, n)
-	nodes := g.NumNodes()
+	nodes := src.NumNodes()
 	for len(pairs) < n {
 		o := graph.NodeID(rng.Intn(nodes))
 		r := graph.NodeID(rng.Intn(nodes))
@@ -97,11 +93,11 @@ type Request struct {
 
 // Requests builds a request stream with zipf-distributed requester
 // popularity (a few heavy accessors, a long tail) over hit-biased pairs.
-func Requests(g *graph.Graph, n int, catalog int, seed int64) []Request {
+func Requests(src Source, n int, catalog int, seed int64) []Request {
 	rng := rand.New(rand.NewSource(seed))
-	nodes := g.NumNodes()
+	nodes := src.NumNodes()
 	zipf := rand.NewZipf(rng, 1.2, 1.0, uint64(nodes-1))
-	base := HitPairs(g, n, 3, seed+1)
+	base := HitPairs(src, n, 3, seed+1)
 	out := make([]Request, n)
 	for i := range out {
 		p := base[i%len(base)]

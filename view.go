@@ -62,6 +62,27 @@ func (v *View) NumUsers() int { return v.s.g.NumNodes() }
 // NumRelationships returns the live relationship count of the view.
 func (v *View) NumRelationships() int { return v.s.g.NumEdges() }
 
+// OutDegree returns the number of outgoing relationships of from.
+func (v *View) OutDegree(from UserID) int { return v.s.g.OutDegree(from) }
+
+// Relationships visits from's outgoing relationships in insertion order;
+// visit returning false stops the iteration. Together with OutDegree and
+// HasRelationship it exposes the pinned snapshot's adjacency without
+// cloning it, which is how workload builders (cmd/acbench's streamed
+// cells) sample a network they never materialized a *graph.Graph for.
+func (v *View) Relationships(from UserID, visit func(to UserID, relType string) bool) {
+	g := v.s.g
+	g.OutEdges(from, func(e graph.Edge) bool {
+		return visit(e.To, g.LabelName(e.Label))
+	})
+}
+
+// HasRelationship reports whether the typed relationship from→to exists
+// in the view.
+func (v *View) HasRelationship(from, to UserID, relType string) bool {
+	return v.s.g.HasEdge(from, to, relType)
+}
+
 // CanAccess is Network.CanAccess against the pinned snapshot.
 func (v *View) CanAccess(resource string, requester UserID) (Decision, error) {
 	v.n.ctr.checks.Add(1)
